@@ -1,0 +1,65 @@
+// Ablation D: load-balancing policy.
+//
+// The paper: "Whenever refinement or coarsening occurs, load re-balancing
+// should be performed to insure high performance." The policy matters:
+// space-filling curves keep neighbor blocks on-PE (low ghost traffic),
+// greedy-LPT optimizes only load, round-robin neither. All run on the same
+// solar-wind forest and T3D model.
+#include <cstdio>
+#include <iostream>
+
+#include "core/ghost.hpp"
+#include "parsim/machine.hpp"
+#include "parsim/partition.hpp"
+#include "parsim/simulate.hpp"
+#include "parsim/workload.hpp"
+#include "physics/kernel.hpp"
+#include "physics/mhd.hpp"
+#include "util/table.hpp"
+
+using namespace ab;
+
+int main() {
+  std::printf(
+      "Ablation D: partition policy on a 2048-block solar-wind forest, "
+      "P = 128, T3D model\n\n");
+  Forest<3>::Config fc;
+  fc.root_blocks = IVec<3>(2);
+  fc.max_level = 7;
+  fc.domain_lo = RVec<3>(-1.0);
+  fc.domain_hi = RVec<3>(1.0);
+  Forest<3> forest(fc);
+  build_solar_wind_forest<3>(forest, RVec<3>(0.0), 0.22, 0.62, 0.08, 2048);
+
+  const BlockLayout<3> lay(IVec<3>(16), 2, IdealMhd<3>::NVAR);
+  const std::uint64_t flops =
+      fv_update_flops<3, IdealMhd<3>>(lay, SpatialOrder::Second);
+  GhostExchanger<3> gx(forest, lay);
+  const MachineModel machine = MachineModel::cray_t3d();
+  const int p = 128;
+
+  Table t({"policy", "imbalance", "remote MB/stage", "messages",
+           "t_stage ms", "efficiency"});
+  const std::pair<const char*, PartitionPolicy> policies[] = {
+      {"Morton SFC", PartitionPolicy::Morton},
+      {"Hilbert SFC", PartitionPolicy::Hilbert},
+      {"greedy LPT", PartitionPolicy::GreedyLpt},
+      {"round-robin", PartitionPolicy::RoundRobin},
+  };
+  for (auto [name, policy] : policies) {
+    auto owner = partition_blocks<3>(forest, p, policy);
+    auto cost = simulate_step<3>(gx, owner, p, machine,
+                                 [&](int) { return flops; });
+    t.add_row({std::string(name), load_imbalance(owner, p),
+               cost.remote_bytes / 1e6,
+               static_cast<long long>(cost.messages), cost.t_step * 1e3,
+               cost.efficiency});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nthe SFC partitions amortize communication over whole blocks AND "
+      "keep most block faces on-PE; round-robin ships nearly every face "
+      "off-PE, and greedy-LPT sits in between (perfect load, no "
+      "locality).\n");
+  return 0;
+}

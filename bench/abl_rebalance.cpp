@@ -1,0 +1,129 @@
+// Ablation G: dynamic load re-balancing across an adaptation sequence.
+//
+// The paper: "Whenever refinement or coarsening occurs, load re-balancing
+// should be performed to insure high performance." We simulate a shock
+// shell expanding through the domain (the refined region moves and grows),
+// and compare keeping the initial block-to-PE map against re-partitioning
+// after every regrid.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/ghost.hpp"
+#include "parsim/machine.hpp"
+#include "parsim/partition.hpp"
+#include "parsim/simulate.hpp"
+#include "parsim/workload.hpp"
+#include "physics/kernel.hpp"
+#include "physics/mhd.hpp"
+#include "util/table.hpp"
+
+using namespace ab;
+
+namespace {
+
+/// Rebuild the forest refined around a shell of radius r (the "shock" at
+/// one epoch of the expansion).
+Forest<3> forest_at_radius(double r, int target) {
+  Forest<3>::Config fc;
+  fc.root_blocks = IVec<3>(2);
+  fc.max_level = 7;
+  fc.domain_lo = RVec<3>(-1.0);
+  fc.domain_hi = RVec<3>(1.0);
+  Forest<3> f(fc);
+  build_solar_wind_forest<3>(f, RVec<3>(0.0), 0.15, r, 0.1, target);
+  return f;
+}
+
+/// Map each leaf of `now` to an owner using the owner of the block (or
+/// ancestor region) in the previous epoch — i.e. no re-balancing: children
+/// inherit their parent region's PE.
+std::vector<int> inherit_owners(const Forest<3>& now,
+                                const Forest<3>& prev,
+                                const std::vector<int>& prev_owner) {
+  std::vector<int> owner(static_cast<std::size_t>(now.node_capacity()), -1);
+  for (int id : now.leaves()) {
+    // Locate a previous-epoch leaf overlapping this block's region: the
+    // enclosing leaf when the old grid was coarser-or-equal here, or any
+    // covered descendant when it was finer.
+    const int level = now.level(id);
+    const IVec<3> c = now.coords(id);
+    int pid = prev.find_enclosing_leaf(level, c);
+    if (pid < 0) {
+      int node = prev.find(level, c);
+      while (node >= 0 && !prev.is_leaf(node))
+        node = prev.children(node)[0];
+      pid = node;
+    }
+    if (pid < 0) pid = prev.leaves().front();
+    owner[id] = prev_owner[pid] >= 0 ? prev_owner[pid] : 0;
+  }
+  return owner;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation G: static ownership vs re-balancing after each regrid\n"
+      "(expanding shock shell, P = 64, T3D model)\n\n");
+  const int p = 64;
+  const MachineModel machine = MachineModel::cray_t3d();
+  const BlockLayout<3> lay(IVec<3>(16), 2, IdealMhd<3>::NVAR);
+  const std::uint64_t flops =
+      fv_update_flops<3, IdealMhd<3>>(lay, SpatialOrder::Second);
+
+  // Epoch 0 grid and its balanced partition.
+  Forest<3> prev = forest_at_radius(0.3, 512);
+  std::vector<int> static_owner =
+      partition_blocks<3>(prev, p, PartitionPolicy::Morton);
+
+  Table t({"epoch", "shell r", "blocks", "imbalance(static)",
+           "eff(static)", "imbalance(rebal)", "eff(rebalanced)",
+           "moved blocks", "migration ms"});
+  double worst_static = 1.0, worst_rebal = 1.0;
+  int epoch = 0;
+  for (double r : {0.3, 0.5, 0.7, 0.9, 1.1}) {
+    Forest<3> now = forest_at_radius(r, 512 + epoch * 128);
+    GhostExchanger<3> gx(now, lay);
+
+    std::vector<int> inherited = inherit_owners(now, prev, static_owner);
+    auto cost_static = simulate_step<3>(gx, inherited, p, machine,
+                                        [&](int) { return flops; });
+    auto rebal = partition_blocks<3>(now, p, PartitionPolicy::Morton);
+    auto cost_rebal = simulate_step<3>(gx, rebal, p, machine,
+                                       [&](int) { return flops; });
+    // Re-balancing is not free: every block changing owner ships its whole
+    // state (interior + ghosts) once. Amortized over the steps between
+    // regrids this stays small next to the imbalance it removes.
+    int moved = 0;
+    for (int id : now.leaves())
+      if (rebal[id] != inherited[id]) ++moved;
+    const double migration_s =
+        moved * (machine.latency_sec +
+                 lay.block_doubles() * 8.0 / machine.bytes_per_sec);
+    t.add_row({static_cast<long long>(epoch), r,
+               static_cast<long long>(now.num_leaves()),
+               load_imbalance(inherited, p), cost_static.efficiency,
+               load_imbalance(rebal, p), cost_rebal.efficiency,
+               static_cast<long long>(moved), migration_s * 1e3});
+    worst_static = std::min(worst_static, cost_static.efficiency);
+    worst_rebal = std::min(worst_rebal, cost_rebal.efficiency);
+
+    // The static policy carries the inherited map forward; blocks created
+    // later keep piling onto the PEs that owned the original shell.
+    static_owner = std::move(inherited);
+    prev = std::move(now);
+    ++epoch;
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nworst-epoch efficiency: %.2f without re-balancing vs %.2f with — "
+      "the refined region migrates away from the PEs that own it, exactly "
+      "why the paper re-balances after every refinement/coarsening. The "
+      "one-time migration traffic costs a few stage-times, repaid within a "
+      "handful of steps.\n",
+      worst_static, worst_rebal);
+  return 0;
+}

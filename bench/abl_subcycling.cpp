@@ -1,0 +1,104 @@
+// Ablation H: local time stepping (subcycling) vs the paper's global step.
+//
+// The paper advances every block with one global dt, throttled by the
+// finest level. With time refinement, a block at level l steps at
+// dt/2^(l-lmin): on a grid where most cells are coarse, the update count
+// per unit physical time drops sharply. This bench quantifies the work
+// saved and the accuracy/conservation cost on an Euler blast whose shock
+// is tracked by two levels of refinement.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "amr/diagnostics.hpp"
+#include "amr/solver.hpp"
+#include "physics/euler.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace ab;
+
+namespace {
+
+struct Result {
+  std::uint64_t updates = 0;
+  int steps = 0;
+  double wall = 0.0;
+  double mass_drift = 0.0;
+  double rho_max = 0.0;
+  int blocks = 0;
+};
+
+Result run(bool subcycling, int max_level) {
+  Euler<2> phys;
+  AmrSolver<2, Euler<2>>::Config cfg;
+  cfg.forest.root_blocks = {4, 4};
+  cfg.forest.max_level = max_level;
+  cfg.cells_per_block = {8, 8};
+  cfg.rk_stages = 1;
+  cfg.order = SpatialOrder::Second;
+  cfg.subcycling = subcycling;
+  cfg.cfl = 0.4;
+  cfg.apply_positivity_fix = true;
+  AmrSolver<2, Euler<2>> solver(cfg, phys);
+  auto ic = [&](const RVec<2>& x, Euler<2>::State& s) {
+    const double r2 = (x[0] - 0.5) * (x[0] - 0.5) +
+                      (x[1] - 0.5) * (x[1] - 0.5);
+    s = phys.from_primitive(1.0, {0.0, 0.0}, r2 < 0.01 ? 10.0 : 0.5);
+  };
+  solver.init(ic);
+  GradientCriterion<2> crit{0, 0.05, 0.01, max_level};
+  for (int i = 0; i < max_level; ++i) {
+    solver.adapt(crit);
+    solver.init(ic);
+  }
+  ConservationLedger<2> ledger;
+  ledger.open(solver.forest(), solver.store(), {0});
+
+  Result r;
+  const double t_end = 0.06;
+  Timer timer;
+  while (solver.time() < t_end - 1e-12) {
+    solver.step(std::min(solver.compute_dt(), t_end - solver.time()));
+    ++r.steps;
+    if (r.steps % 4 == 0) solver.adapt(crit);
+  }
+  r.wall = timer.seconds();
+  r.updates = solver.block_updates();
+  r.mass_drift =
+      std::fabs(ledger.drift(solver.forest(), solver.store(), 0));
+  r.rho_max = compute_var_stats<2>(solver.forest(), solver.store(), 0).max;
+  r.blocks = solver.forest().num_leaves();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation H: global timestep (paper) vs local time stepping\n"
+      "(Euler blast to t=0.06, shock-tracking AMR)\n\n");
+  Table t({"levels", "stepper", "coarse steps", "block updates", "wall s",
+           "mass drift", "peak rho", "blocks(final)"});
+  for (int ml : {1, 2}) {
+    auto g = run(false, ml);
+    auto s = run(true, ml);
+    t.add_row({static_cast<long long>(ml), std::string("global (paper)"),
+               static_cast<long long>(g.steps),
+               static_cast<long long>(g.updates), g.wall, g.mass_drift,
+               g.rho_max, static_cast<long long>(g.blocks)});
+    t.add_row({static_cast<long long>(ml), std::string("subcycled"),
+               static_cast<long long>(s.steps),
+               static_cast<long long>(s.updates), s.wall, s.mass_drift,
+               s.rho_max, static_cast<long long>(s.blocks)});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nsubcycling takes fewer, larger coarse steps and spends its updates "
+      "where the resolution is: the deeper the hierarchy and the smaller "
+      "the refined fraction, the bigger the win. The price is a slightly "
+      "larger conservation drift at coarse/fine faces (time-lagged fine "
+      "fluxes) — the global step remains the conservative reference, as in "
+      "the paper.\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Kernel microbenchmarks (google-benchmark): per-cell throughput of the
+// building blocks Figure 5 composes — the physics update kernels at both
+// orders, the ghost-exchange phases, and prolongation/restriction.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/block_store.hpp"
+#include "core/forest.hpp"
+#include "core/ghost.hpp"
+#include "physics/advection.hpp"
+#include "physics/euler.hpp"
+#include "physics/kernel.hpp"
+#include "physics/mhd.hpp"
+#include "util/aligned.hpp"
+
+using namespace ab;
+
+namespace {
+
+template <class Phys>
+void fill_uniform(const BlockLayout<3>& lay, double* base,
+                  const typename Phys::State& u) {
+  for (int v = 0; v < Phys::NVAR; ++v)
+    for_each_cell<3>(lay.ghosted_box(), [&](IVec<3> p) {
+      base[v * lay.field_stride() + lay.offset(p)] = u[v];
+    });
+}
+
+template <class Phys>
+void bench_update(benchmark::State& state, const Phys& phys,
+                  const typename Phys::State& u, SpatialOrder order) {
+  const int m = static_cast<int>(state.range(0));
+  BlockLayout<3> lay(IVec<3>(m), 2, Phys::NVAR);
+  AlignedBuffer uin(lay.block_doubles()), uout(lay.block_doubles());
+  fill_uniform<Phys>(lay, uin.data(), u);
+  const RVec<3> dx{0.01, 0.01, 0.01};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fv_block_update<3, Phys>(
+        lay, uin.data(), uout.data(), phys, dx, 1e-4, order));
+  }
+  state.SetItemsProcessed(state.iterations() * lay.interior_cells());
+  state.counters["flops/cell"] = static_cast<double>(
+      fv_update_flops<3, Phys>(lay, order) / lay.interior_cells());
+}
+
+void BM_AdvectionSecondOrder(benchmark::State& state) {
+  LinearAdvection<3> phys;
+  phys.velocity = {1.0, 0.5, -0.2};
+  bench_update<LinearAdvection<3>>(state, phys, {1.0}, SpatialOrder::Second);
+}
+BENCHMARK(BM_AdvectionSecondOrder)->Arg(8)->Arg(16);
+
+void BM_EulerSecondOrder(benchmark::State& state) {
+  Euler<3> phys;
+  bench_update<Euler<3>>(state, phys,
+                         phys.from_primitive(1.0, {0.5, 0.1, -0.2}, 1.0),
+                         SpatialOrder::Second);
+}
+BENCHMARK(BM_EulerSecondOrder)->Arg(8)->Arg(16);
+
+void BM_MhdFirstOrder(benchmark::State& state) {
+  IdealMhd<3> phys;
+  bench_update<IdealMhd<3>>(
+      state, phys,
+      phys.from_primitive(1.0, {0.5, 0.1, -0.2}, {0.2, 0.3, 0.1}, 1.0),
+      SpatialOrder::First);
+}
+BENCHMARK(BM_MhdFirstOrder)->Arg(8)->Arg(16);
+
+void BM_MhdSecondOrder(benchmark::State& state) {
+  IdealMhd<3> phys;
+  bench_update<IdealMhd<3>>(
+      state, phys,
+      phys.from_primitive(1.0, {0.5, 0.1, -0.2}, {0.2, 0.3, 0.1}, 1.0),
+      SpatialOrder::Second);
+}
+BENCHMARK(BM_MhdSecondOrder)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_GhostFillUniform(benchmark::State& state) {
+  // Same-level exchange over a periodic uniform 4^3-block forest.
+  const int m = static_cast<int>(state.range(0));
+  Forest<3>::Config fc;
+  fc.root_blocks = IVec<3>(4);
+  fc.periodic = {true, true, true};
+  Forest<3> forest(fc);
+  BlockLayout<3> lay(IVec<3>(m), 2, 8);
+  BlockStore<3> store(lay);
+  for (int id : forest.leaves()) store.ensure(id);
+  GhostExchanger<3> gx(forest, lay);
+  for (auto _ : state) gx.fill(store);
+  state.SetItemsProcessed(state.iterations() * gx.total_cells());
+  state.counters["ghost cells"] = static_cast<double>(gx.total_cells());
+}
+BENCHMARK(BM_GhostFillUniform)->Arg(8)->Arg(16);
+
+void BM_GhostFillMixedLevels(benchmark::State& state) {
+  // Exchange on a mixed-level forest: copies + restrictions + prolongs.
+  const int m = static_cast<int>(state.range(0));
+  Forest<3>::Config fc;
+  fc.root_blocks = IVec<3>(2);
+  fc.max_level = 2;
+  Forest<3> forest(fc);
+  forest.refine(forest.find(0, {0, 0, 0}));
+  forest.refine(forest.find(1, {1, 1, 1}));
+  BlockLayout<3> lay(IVec<3>(m), 2, 8);
+  BlockStore<3> store(lay);
+  for (int id : forest.leaves()) store.ensure(id);
+  GhostExchanger<3> gx(forest, lay);
+  for (auto _ : state) gx.fill(store);
+  state.SetItemsProcessed(state.iterations() * gx.total_cells());
+}
+BENCHMARK(BM_GhostFillMixedLevels)->Arg(8)->Arg(16);
+
+void BM_WaveSpeedScan(benchmark::State& state) {
+  IdealMhd<3> phys;
+  BlockLayout<3> lay(IVec<3>(16), 2, 8);
+  AlignedBuffer u(lay.block_doubles());
+  fill_uniform<IdealMhd<3>>(
+      lay, u.data(),
+      phys.from_primitive(1.0, {0.5, 0.1, -0.2}, {0.2, 0.3, 0.1}, 1.0));
+  const RVec<3> dx{0.01, 0.01, 0.01};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        block_wave_speed_sum<3, IdealMhd<3>>(lay, u.data(), phys, dx));
+  }
+  state.SetItemsProcessed(state.iterations() * lay.interior_cells());
+}
+BENCHMARK(BM_WaveSpeedScan);
+
+}  // namespace
+
+BENCHMARK_MAIN();

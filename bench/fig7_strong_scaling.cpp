@@ -1,0 +1,74 @@
+// Figure 7 reproduction: parallel efficiency at fixed problem size
+// (strong scaling), speedup relative to 64 processors.
+//
+// The paper: "Another test of the parallel efficiency is the speedup for a
+// fixed size problem... it would have been impossible to test this problem
+// on a single processor, because no single processor would have sufficient
+// memory. The speedup here is relative to the 64 processor speed."
+//
+// We fix one solar-wind forest (4096 blocks of 16^3 = 16.8M cells — indeed
+// beyond one 64 MB T3D PE: the state alone is ~2.7 GB with scratch and
+// ghosts) and sweep P = 64..512 on the simulated machine.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/ghost.hpp"
+#include "parsim/machine.hpp"
+#include "parsim/partition.hpp"
+#include "parsim/simulate.hpp"
+#include "parsim/workload.hpp"
+#include "physics/kernel.hpp"
+#include "physics/mhd.hpp"
+#include "util/table.hpp"
+
+using namespace ab;
+
+int main() {
+  std::printf(
+      "Figure 7: strong scaling — fixed solar-wind MHD problem (4096 blocks "
+      "of 16^3),\nspeedup relative to 64 PEs, simulated Cray T3D\n\n");
+
+  Forest<3>::Config fc;
+  fc.root_blocks = IVec<3>(2);
+  fc.max_level = 7;
+  fc.domain_lo = RVec<3>(-1.0);
+  fc.domain_hi = RVec<3>(1.0);
+  Forest<3> forest(fc);
+  build_solar_wind_forest<3>(forest, RVec<3>(0.0), 0.22, 0.62, 0.08, 4096);
+
+  const BlockLayout<3> lay(IVec<3>(16), 2, IdealMhd<3>::NVAR);
+  const std::uint64_t flops_per_block =
+      fv_update_flops<3, IdealMhd<3>>(lay, SpatialOrder::Second);
+  GhostExchanger<3> gx(forest, lay);
+  const MachineModel machine = MachineModel::cray_t3d();
+
+  std::printf("problem: %d blocks, %lld cells, %.1f MB of state per copy\n\n",
+              forest.num_leaves(),
+              static_cast<long long>(forest.num_leaves()) *
+                  lay.interior_cells(),
+              forest.num_leaves() * lay.block_doubles() * 8.0 / 1e6);
+
+  double t64 = 0.0;
+  Table t({"PEs", "blocks/PE", "imbalance", "t_stage ms",
+           "speedup vs 64 (x64)", "ideal", "efficiency vs 64"});
+  for (int p : {64, 96, 128, 192, 256, 384, 512}) {
+    auto owner = partition_blocks<3>(forest, p, PartitionPolicy::Morton);
+    auto cost = simulate_step<3>(gx, owner, p, machine,
+                                 [&](int) { return flops_per_block; });
+    if (p == 64) t64 = cost.t_step;
+    const double speedup64 = 64.0 * t64 / cost.t_step;
+    t.add_row({static_cast<long long>(p),
+               static_cast<double>(forest.num_leaves()) / p,
+               load_imbalance(owner, p), cost.t_step * 1e3, speedup64,
+               static_cast<long long>(p),
+               speedup64 / p});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\npaper's shape: near-ideal speedup from 64 through 512 PEs; the "
+      "slight roll-off at 512 comes from fewer blocks per PE (8) making "
+      "load balance coarser — exactly the granularity trade-off the paper "
+      "discusses (see abl_granularity).\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// CME: a coronal-mass-ejection-like magnetized blast in 3D ideal MHD.
+//
+// The paper's Figure 1 shows a CME simulation from the production
+// solar-wind model (ideal MHD with adaptive blocks on the 512-PE T3D). This
+// laptop-scale analogue exercises the same code path: the 8-variable MHD
+// solver with the Powell eight-wave source on a 3D adaptive block grid. An
+// over-pressured, strongly magnetized core ("the eruption") is placed in a
+// uniform background corona; the expanding fast-mode front is tracked by
+// the AMR.
+//
+//   ./cme [steps=40]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "amr/solver.hpp"
+#include "io/output.hpp"
+#include "physics/mhd.hpp"
+
+using namespace ab;
+
+int main(int argc, char** argv) {
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 40;
+
+  IdealMhd<3> phys;
+  AmrSolver<3, IdealMhd<3>>::Config cfg;
+  cfg.forest.root_blocks = {2, 2, 2};
+  cfg.forest.max_level = 2;
+  cfg.forest.domain_lo = {-1.0, -1.0, -1.0};
+  cfg.forest.domain_hi = {1.0, 1.0, 1.0};
+  cfg.cells_per_block = {8, 8, 8};
+  cfg.cfl = 0.3;
+  cfg.flux = FluxScheme::Hlld;
+  cfg.apply_positivity_fix = true;
+  cfg.bc = BcSet<3>::all(BcKind::Outflow);
+
+  AmrSolver<3, IdealMhd<3>> solver(cfg, phys);
+
+  // Corona threaded by a uniform oblique field (exactly divergence-free),
+  // with a 10x over-pressured eruption core (Balsara-Spicer-style
+  // magnetized blast). The expanding front is anisotropic: fastest across
+  // the field, slower along it.
+  const RVec<3> b0{0.7, 0.7, 0.0};
+  auto ic = [&](const RVec<3>& x, IdealMhd<3>::State& s) {
+    const double r = x.norm();
+    const double p = r < 0.25 ? 10.0 : 1.0;
+    const double rho = r < 0.25 ? 2.0 : 1.0;
+    s = phys.from_primitive(rho, {0.0, 0.0, 0.0}, b0, p);
+  };
+  solver.init(ic);
+
+  GradientCriterion<3> crit{/*var=*/0, 0.06, 0.015, 2};
+  for (int i = 0; i < 2; ++i) {
+    solver.adapt(crit);
+    solver.init(ic);
+  }
+
+  auto stats = solver.forest().stats();
+  std::printf("CME blast: %d blocks (levels %d..%d), %lld cells, 8 MHD vars\n",
+              stats.leaves, stats.min_level, stats.max_level,
+              static_cast<long long>(solver.total_interior_cells()));
+
+  auto front_radius = [&]() {
+    // Radius of the fastest disturbance along +x (first cell from the
+    // boundary whose pressure deviates from the background).
+    double rmax = 0.0;
+    for (int id : solver.forest().leaves()) {
+      ConstBlockView<3> v = solver.store().view(id);
+      for_each_cell<3>(solver.store().layout().interior_box(),
+                       [&](IVec<3> p) {
+                         IdealMhd<3>::State s;
+                         for (int k = 0; k < 8; ++k) s[k] = v.at(k, p);
+                         if (std::fabs(phys.pressure(s) - 1.0) > 0.05) {
+                           rmax = std::max(rmax,
+                                           solver.cell_center(id, p).norm());
+                         }
+                       });
+    }
+    return rmax;
+  };
+
+  const double r0 = front_radius();
+  for (int i = 0; i < steps; ++i) {
+    solver.step(solver.compute_dt());
+    if (i % 5 == 4) solver.adapt(crit);
+    if (i % 10 == 9) {
+      auto st = solver.forest().stats();
+      std::printf("  step %3d  t=%6.4f  blocks=%4d  front r=%.3f\n", i + 1,
+                  solver.time(), st.leaves, front_radius());
+    }
+  }
+
+  const double r1 = front_radius();
+  std::printf("\nfront expanded from r=%.3f to r=%.3f  (fast-mode speed ~%.2f)\n",
+              r0, r1, (r1 - r0) / solver.time());
+  std::printf("sustained %.2e flops over %d steps\n",
+              static_cast<double>(solver.total_flops()), steps);
+
+  // Verify the solution stayed physical everywhere.
+  double min_rho = 1e30, min_p = 1e30, max_divb_norm = 0.0;
+  for (int id : solver.forest().leaves()) {
+    ConstBlockView<3> v = solver.store().view(id);
+    const RVec<3> dx = solver.cell_dx(solver.forest().level(id));
+    for_each_cell<3>(solver.store().layout().interior_box(), [&](IVec<3> p) {
+      IdealMhd<3>::State s;
+      for (int k = 0; k < 8; ++k) s[k] = v.at(k, p);
+      min_rho = std::min(min_rho, s[0]);
+      min_p = std::min(min_p, phys.pressure(s));
+      // Interior-only undivided div B as a monopole-error proxy.
+      bool interior = true;
+      for (int d = 0; d < 3; ++d)
+        if (p[d] == 0 || p[d] == 7) interior = false;
+      if (interior) {
+        double divb = 0.0;
+        for (int d = 0; d < 3; ++d) {
+          IVec<3> lo = p, hi = p;
+          lo[d] -= 1;
+          hi[d] += 1;
+          divb += (v.at(4 + d, hi) - v.at(4 + d, lo)) / (2.0 * dx[d]);
+        }
+        max_divb_norm = std::max(max_divb_norm, std::fabs(divb) * dx[0]);
+      }
+    });
+  }
+  std::printf("min rho=%.3f  min p=%.3f  max |divB|*dx=%.3e (Powell-advected)\n",
+              min_rho, min_p, max_divb_norm);
+  write_cells_csv<3>("cme_final.csv", solver.forest(), solver.store(),
+                     {"rho", "mx", "my", "mz", "bx", "by", "bz", "E"});
+  std::printf("wrote cme_final.csv\n");
+  return 0;
+}

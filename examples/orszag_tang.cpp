@@ -1,0 +1,92 @@
+// Orszag-Tang vortex: the standard 2D ideal-MHD turbulence benchmark.
+//
+// Smooth periodic initial data steepen into a web of interacting shocks and
+// current sheets — exactly the kind of evolving multi-scale structure
+// adaptive blocks were built for. The run adapts every few steps, tracks
+// conservation through the ConservationLedger, and monitors the Powell
+// scheme's div(B) error.
+//
+//   ./orszag_tang [steps=80]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "amr/diagnostics.hpp"
+#include "amr/solver.hpp"
+#include "io/output.hpp"
+#include "physics/mhd.hpp"
+
+using namespace ab;
+
+int main(int argc, char** argv) {
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 80;
+
+  IdealMhd<2> phys;
+  phys.gamma = 5.0 / 3.0;
+  AmrSolver<2, IdealMhd<2>>::Config cfg;
+  cfg.forest.root_blocks = {4, 4};
+  cfg.forest.periodic = {true, true};
+  cfg.forest.max_level = 2;
+  cfg.cells_per_block = {8, 8};
+  cfg.cfl = 0.3;
+  cfg.apply_positivity_fix = true;
+  cfg.flux = FluxScheme::Hlld;  // five-wave MHD Riemann solver
+  cfg.flux_correction = true;  // machine-exact conservation
+  AmrSolver<2, IdealMhd<2>> solver(cfg, phys);
+
+  // Classic Orszag-Tang setup on [0,1]^2 (units with mu0 = 1):
+  //   rho = 25/(36 pi), p = 5/(12 pi),
+  //   v = (-sin 2 pi y, sin 2 pi x, 0),
+  //   B = (-B0 sin 2 pi y, B0 sin 4 pi x, 0), B0 = 1/sqrt(4 pi).
+  const double rho0 = 25.0 / (36.0 * M_PI);
+  const double p0 = 5.0 / (12.0 * M_PI);
+  const double b0 = 1.0 / std::sqrt(4.0 * M_PI);
+  auto ic = [&](const RVec<2>& x, IdealMhd<2>::State& s) {
+    const RVec<3> v{-std::sin(2.0 * M_PI * x[1]),
+                    std::sin(2.0 * M_PI * x[0]), 0.0};
+    const RVec<3> b{-b0 * std::sin(2.0 * M_PI * x[1]),
+                    b0 * std::sin(4.0 * M_PI * x[0]), 0.0};
+    s = phys.from_primitive(rho0, v, b, p0);
+  };
+  solver.init(ic);
+
+  GradientCriterion<2> crit{/*var=*/0, 0.03, 0.008, 2};
+  ConservationLedger<2> ledger;
+  ledger.open(solver.forest(), solver.store(), {0, 1, 2, 7});
+
+  std::printf("Orszag-Tang vortex, %d steps, flux-corrected AMR\n", steps);
+  for (int i = 0; i < steps; ++i) {
+    solver.step(solver.compute_dt());
+    if (i % 4 == 3) solver.adapt(crit);
+    if (i % 20 == 19) {
+      solver.fill_ghosts();
+      auto st = solver.forest().stats();
+      auto rho = compute_var_stats<2>(solver.forest(), solver.store(), 0);
+      std::printf(
+          "  step %3d  t=%6.4f  blocks=%3d (levels %d..%d)  rho in "
+          "[%.3f, %.3f]  |divB|dx=%.2e  drift=%.1e\n",
+          i + 1, solver.time(), st.leaves, st.min_level, st.max_level,
+          rho.min, rho.max,
+          max_divergence_dx<2>(solver.forest(), solver.store(), 4),
+          ledger.max_drift(solver.forest(), solver.store()));
+      // Mass has no Powell source: with flux correction its drift is at
+      // machine precision; energy/momentum absorb the -divB source.
+      std::printf("            mass drift=%.1e  energy drift=%.1e\n",
+                  ledger.drift(solver.forest(), solver.store(), 0),
+                  ledger.drift(solver.forest(), solver.store(), 3));
+    }
+  }
+
+  // By t ~ 0.2 the flow has steepened into shocks: density contrast grows
+  // well beyond the smooth initial range and the grid refines onto the
+  // shock web.
+  auto rho = compute_var_stats<2>(solver.forest(), solver.store(), 0);
+  std::printf("\nfinal density contrast max/min = %.2f (initially 1.00)\n",
+              rho.max / rho.min);
+  std::printf("final grid (refinement level per position):\n%s",
+              ascii_render_levels(solver.forest()).c_str());
+  write_cells_csv<2>("orszag_tang_final.csv", solver.forest(), solver.store(),
+                     {"rho", "mx", "my", "mz", "bx", "by", "bz", "E"});
+  std::printf("wrote orszag_tang_final.csv\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Quickstart: the adaptive-block API in ~80 lines.
+//
+// Builds a 2D adaptive block grid, refines it around a Gaussian pulse,
+// advects the pulse with the second-order MUSCL solver while the grid
+// adapts to follow it, and prints grid statistics along the way.
+//
+//   ./quickstart
+#include <cstdio>
+
+#include "amr/solver.hpp"
+#include "io/output.hpp"
+#include "physics/advection.hpp"
+
+using namespace ab;
+
+int main() {
+  // 1. Configure: a periodic unit square tiled by 2x2 root blocks of 8x8
+  //    cells, allowing 3 levels of refinement.
+  LinearAdvection<2> physics;
+  physics.velocity = {1.0, 0.5};
+
+  AmrSolver<2, LinearAdvection<2>>::Config cfg;
+  cfg.forest.root_blocks = {2, 2};
+  cfg.forest.periodic = {true, true};
+  cfg.forest.max_level = 3;
+  cfg.cells_per_block = {8, 8};
+  cfg.ghost = 2;                       // two layers: second-order stencils
+  cfg.order = SpatialOrder::Second;
+  cfg.limiter = LimiterKind::VanLeer;
+  cfg.cfl = 0.4;
+
+  AmrSolver<2, LinearAdvection<2>> solver(cfg, physics);
+
+  // 2. Initial condition: a Gaussian pulse at (0.3, 0.3).
+  auto ic = [](const RVec<2>& x, LinearAdvection<2>::State& s) {
+    const double r2 =
+        (x[0] - 0.3) * (x[0] - 0.3) + (x[1] - 0.3) * (x[1] - 0.3);
+    s[0] = 1.0 + 2.0 * std::exp(-80.0 * r2);
+  };
+  solver.init(ic);
+
+  // 3. Adapt the initial grid to the pulse (re-sampling the IC after each
+  //    adaptation keeps it crisp on the refined blocks).
+  GradientCriterion<2> criterion{/*var=*/0, /*refine=*/0.04,
+                                 /*coarsen=*/0.008, /*max_level=*/3};
+  for (int pass = 0; pass < 3; ++pass) {
+    solver.adapt(criterion);
+    solver.init(ic);
+  }
+
+  auto print_stats = [&](const char* tag) {
+    auto s = solver.forest().stats();
+    std::printf("%-10s t=%6.3f  blocks=%4d  levels %d..%d  cells=%lld\n",
+                tag, solver.time(), s.leaves, s.min_level, s.max_level,
+                static_cast<long long>(solver.total_interior_cells()));
+  };
+  print_stats("initial");
+  const double mass0 = solver.total_conserved(0);
+
+  // 4. Advance to t = 0.5, re-adapting every few steps so the refined
+  //    region follows the pulse.
+  int step = 0;
+  while (solver.time() < 0.5) {
+    solver.step(std::min(solver.compute_dt(), 0.5 - solver.time()));
+    if (++step % 4 == 0) solver.adapt(criterion);
+  }
+  print_stats("final");
+
+  // 5. Diagnostics and output.
+  std::printf("steps=%d  mass drift=%.2e  flops=%.2e\n", step,
+              std::abs(solver.total_conserved(0) - mass0) / mass0,
+              static_cast<double>(solver.total_flops()));
+  write_cells_csv<2>("quickstart_final.csv", solver.forest(), solver.store(),
+                     {"u"});
+  std::printf("wrote quickstart_final.csv\n");
+  std::printf("\nfinal block decomposition (refinement level per position):\n%s",
+              ascii_render_levels(solver.forest()).c_str());
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Sod shock tube with shock-tracking AMR (the ref [4] workload class).
+//
+// Solves the classic Sod Riemann problem on an adaptive block grid, compares
+// against the exact similarity solution, and contrasts the cost of the AMR
+// run with a uniform grid at the finest resolution.
+//
+//   ./sod_shock
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "amr/solver.hpp"
+#include "physics/euler.hpp"
+#include "physics/riemann_exact.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace ab;
+
+namespace {
+
+struct RunResult {
+  double l1_error = 0.0;
+  long long cells = 0;
+  double seconds = 0.0;
+  int steps = 0;
+  int final_blocks = 0;
+};
+
+RunResult run(int max_level, bool adaptive) {
+  Euler<2> phys;
+  AmrSolver<2, Euler<2>>::Config cfg;
+  cfg.forest.root_blocks = {8, 1};
+  cfg.forest.max_level = max_level;
+  cfg.forest.domain_hi = {1.0, 0.125};
+  cfg.cells_per_block = {8, 8};
+  cfg.ghost = 2;
+  cfg.cfl = 0.4;
+  cfg.flux = FluxScheme::Hll;
+  AmrSolver<2, Euler<2>> solver(cfg, phys);
+
+  auto ic = [&](const RVec<2>& x, Euler<2>::State& s) {
+    s = x[0] < 0.5 ? phys.from_primitive(1.0, {0.0, 0.0}, 1.0)
+                   : phys.from_primitive(0.125, {0.0, 0.0}, 0.1);
+  };
+  GradientCriterion<2> crit{0, 0.05, 0.01, max_level};
+
+  solver.init(ic);
+  if (adaptive) {
+    for (int i = 0; i < max_level; ++i) {
+      solver.adapt(crit);
+      solver.init(ic);
+    }
+  } else {
+    // Uniform: refine every block to max_level.
+    RegionCriterion<2> everywhere{
+        [](const RVec<2>&, const RVec<2>&) { return true; }, max_level};
+    for (int l = 0; l < max_level; ++l) {
+      solver.adapt(everywhere);
+      solver.init(ic);
+    }
+  }
+
+  RunResult r;
+  Timer timer;
+  const double t_end = 0.2;
+  while (solver.time() < t_end) {
+    solver.step(std::min(solver.compute_dt(), t_end - solver.time()));
+    ++r.steps;
+    if (adaptive && r.steps % 4 == 0) solver.adapt(crit);
+  }
+  r.seconds = timer.seconds();
+
+  ExactRiemann exact({1.0, 0.0, 1.0}, {0.125, 0.0, 0.1});
+  double err = 0.0, norm = 0.0;
+  for (int id : solver.forest().leaves()) {
+    ConstBlockView<2> v = solver.store().view(id);
+    const double w = 1.0 / (1 << solver.forest().level(id));
+    for_each_cell<2>(solver.store().layout().interior_box(),
+                     [&](IVec<2> p) {
+                       const RVec<2> x = solver.cell_center(id, p);
+                       auto q = exact.sample((x[0] - 0.5) / t_end);
+                       err += w * w * std::fabs(v.at(0, p) - q.rho);
+                       norm += w * w * q.rho;
+                       ++r.cells;
+                     });
+  }
+  r.l1_error = err / norm;
+  r.final_blocks = solver.forest().num_leaves();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Sod shock tube, t_end = 0.2, exact Riemann reference\n\n");
+  Table t({"run", "levels", "blocks(final)", "cells(final)", "steps",
+           "rel L1(rho)", "wall s"});
+  for (int ml : {1, 2}) {
+    auto a = run(ml, true);
+    auto u = run(ml, false);
+    t.add_row({std::string("AMR"), static_cast<long long>(ml),
+               static_cast<long long>(a.final_blocks), a.cells,
+               static_cast<long long>(a.steps), a.l1_error, a.seconds});
+    t.add_row({std::string("uniform"), static_cast<long long>(ml),
+               static_cast<long long>(u.final_blocks), u.cells,
+               static_cast<long long>(u.steps), u.l1_error, u.seconds});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nAMR reaches nearly the uniform-grid accuracy with a fraction of "
+      "the cells — the efficiency argument of the paper's introduction.\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Solution diagnostics over an adaptive block grid: per-variable norms,
+// conservation tracking, and the div(B) monitor the eight-wave MHD scheme
+// is judged by.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/block_store.hpp"
+#include "core/forest.hpp"
+#include "util/error.hpp"
+
+namespace ab {
+
+/// Volume-weighted statistics of one variable over all leaf interiors.
+struct VarStats {
+  double min = 0.0;
+  double max = 0.0;
+  double l1 = 0.0;        ///< integral of |u| dV
+  double l2 = 0.0;        ///< sqrt(integral of u^2 dV)
+  double integral = 0.0;  ///< integral of u dV (the conserved total)
+};
+
+template <int D>
+VarStats compute_var_stats(const Forest<D>& forest,
+                           const BlockStore<D>& store, int var) {
+  const BlockLayout<D>& lay = store.layout();
+  AB_REQUIRE(var >= 0 && var < lay.nvar, "compute_var_stats: bad variable");
+  VarStats s;
+  s.min = 1e300;
+  s.max = -1e300;
+  double l2sq = 0.0;
+  for (int id : forest.leaves()) {
+    RVec<D> dx = forest.block_size(forest.level(id));
+    double vol = 1.0;
+    for (int d = 0; d < D; ++d) {
+      dx[d] /= lay.interior[d];
+      vol *= dx[d];
+    }
+    ConstBlockView<D> v = store.view(id);
+    for_each_cell<D>(lay.interior_box(), [&](IVec<D> p) {
+      const double u = v.at(var, p);
+      s.min = std::min(s.min, u);
+      s.max = std::max(s.max, u);
+      s.l1 += std::fabs(u) * vol;
+      l2sq += u * u * vol;
+      s.integral += u * vol;
+    });
+  }
+  s.l2 = std::sqrt(l2sq);
+  return s;
+}
+
+/// Maximum |divergence| * dx over leaf interiors of the vector field stored
+/// in variables [first_component, first_component + D), using central
+/// differences (ghosts must be filled). Multiplying by dx makes the number
+/// resolution-comparable: it is the relative field error per cell, the
+/// quantity the Powell scheme keeps bounded.
+template <int D>
+double max_divergence_dx(const Forest<D>& forest, const BlockStore<D>& store,
+                         int first_component) {
+  const BlockLayout<D>& lay = store.layout();
+  AB_REQUIRE(first_component >= 0 && first_component + D <= lay.nvar,
+             "max_divergence_dx: variables out of range");
+  AB_REQUIRE(lay.ghost >= 1, "max_divergence_dx: needs one ghost layer");
+  double worst = 0.0;
+  for (int id : forest.leaves()) {
+    RVec<D> dx = forest.block_size(forest.level(id));
+    for (int d = 0; d < D; ++d) dx[d] /= lay.interior[d];
+    ConstBlockView<D> v = store.view(id);
+    for_each_cell<D>(lay.interior_box(), [&](IVec<D> p) {
+      double div = 0.0;
+      for (int d = 0; d < D; ++d) {
+        IVec<D> lo = p, hi = p;
+        lo[d] -= 1;
+        hi[d] += 1;
+        div += (v.at(first_component + d, hi) -
+                v.at(first_component + d, lo)) /
+               (2.0 * dx[d]);
+      }
+      worst = std::max(worst, std::fabs(div) * dx[0]);
+    });
+  }
+  return worst;
+}
+
+/// Records the initial totals of chosen variables and reports the relative
+/// drift later — the standard conservation audit for an AMR run.
+template <int D>
+class ConservationLedger {
+ public:
+  /// Capture baselines for the given variables.
+  void open(const Forest<D>& forest, const BlockStore<D>& store,
+            std::vector<int> vars) {
+    vars_ = std::move(vars);
+    baseline_.clear();
+    scale_.clear();
+    for (int var : vars_) {
+      const VarStats s = compute_var_stats<D>(forest, store, var);
+      baseline_.push_back(s.integral);
+      // Quantities whose total is (near) zero — e.g. sinusoidal momentum —
+      // are scaled by their L1 norm instead, so "drift" stays a meaningful
+      // relative measure.
+      double scale = std::max(std::fabs(s.integral), s.l1);
+      scale_.push_back(scale > 1e-300 ? scale : 1.0);
+    }
+  }
+
+  /// Drift of variable index `i` (into the vars list), relative to the
+  /// larger of |initial total| and the initial L1 norm.
+  double drift(const Forest<D>& forest, const BlockStore<D>& store,
+               std::size_t i) const {
+    AB_REQUIRE(i < vars_.size(), "ConservationLedger: bad index");
+    const double now =
+        compute_var_stats<D>(forest, store, vars_[i]).integral;
+    return (now - baseline_[i]) / scale_[i];
+  }
+
+  /// Largest |relative drift| across all tracked variables.
+  double max_drift(const Forest<D>& forest, const BlockStore<D>& store) const {
+    double worst = 0.0;
+    for (std::size_t i = 0; i < vars_.size(); ++i)
+      worst = std::max(worst, std::fabs(drift(forest, store, i)));
+    return worst;
+  }
+
+  const std::vector<int>& vars() const { return vars_; }
+
+ private:
+  std::vector<int> vars_;
+  std::vector<double> baseline_;
+  std::vector<double> scale_;
+};
+
+}  // namespace ab

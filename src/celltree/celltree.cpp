@@ -1,0 +1,247 @@
+#include "celltree/celltree.hpp"
+
+#include <algorithm>
+
+namespace ab {
+
+template <int D>
+CellTree<D>::CellTree(const Config& cfg) : cfg_(cfg) {
+  AB_REQUIRE(cfg_.max_level >= 0 && cfg_.max_level <= 20,
+             "CellTree: max_level out of range");
+  AB_REQUIRE(cfg_.max_level_diff >= 1, "CellTree: max_level_diff >= 1");
+  for (int d = 0; d < D; ++d) {
+    AB_REQUIRE(cfg_.root_cells[d] >= 1, "CellTree: root_cells must be >= 1");
+    AB_REQUIRE((static_cast<std::int64_t>(cfg_.root_cells[d])
+                << cfg_.max_level) <= (1 << 19),
+               "CellTree: coordinate range exceeded");
+  }
+  root_extent_ = cfg_.root_cells;
+  nodes_.reserve(static_cast<std::size_t>(root_extent_.product()));
+  for_each_cell<D>(Box<D>::from_extent(root_extent_), [&](IVec<D> c) {
+    int id = allocate_node();
+    Node& n = nodes_[id];
+    n.coords = c;
+    index_.emplace(key(0, c), id);
+    ++num_leaves_;
+  });
+}
+
+template <int D>
+int CellTree<D>::allocate_node() {
+  int id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+    nodes_[id] = Node{};
+  } else {
+    id = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  nodes_[id].live = true;
+  ++live_nodes_;
+  return id;
+}
+
+template <int D>
+void CellTree<D>::free_node(int id) {
+  nodes_[id].live = false;
+  free_list_.push_back(id);
+  --live_nodes_;
+}
+
+template <int D>
+int CellTree<D>::find(int level, IVec<D> coords) const {
+  auto it = index_.find(key(level, coords));
+  return it == index_.end() ? -1 : it->second;
+}
+
+template <int D>
+bool CellTree<D>::wrap_root(IVec<D>& c) const {
+  for (int d = 0; d < D; ++d) {
+    if (c[d] < 0 || c[d] >= root_extent_[d]) {
+      if (!cfg_.periodic[d]) return false;
+      c[d] = ((c[d] % root_extent_[d]) + root_extent_[d]) % root_extent_[d];
+    }
+  }
+  return true;
+}
+
+template <int D>
+int CellTree<D>::root_at(IVec<D> c) const {
+  // Roots were allocated first, in for_each_cell order (dim 0 fastest).
+  int id = 0, mul = 1;
+  for (int d = 0; d < D; ++d) {
+    id += c[d] * mul;
+    mul *= root_extent_[d];
+  }
+  return id;
+}
+
+template <int D>
+int CellTree<D>::neighbor_traverse(int id, int dim, int side,
+                                   std::int64_t* steps) const {
+  AB_ASSERT(is_live(id));
+  const Node& n = nodes_[id];
+  if (n.parent < 0) {
+    // Root cell: grid adjacency at level 0.
+    IVec<D> c = n.coords + unit<D>(dim, side ? 1 : -1);
+    if (!wrap_root(c)) return -1;
+    if (steps) *steps += 1;
+    return root_at(c);
+  }
+  const int ci = n.child_index;
+  const int mirrored = ci ^ (1 << dim);
+  if (((ci >> dim) & 1) != side) {
+    // The neighbor is a sibling: one step up, one down.
+    if (steps) *steps += 2;
+    return nodes_[n.parent].children[mirrored];
+  }
+  // Ascend.
+  if (steps) *steps += 1;
+  const int t = neighbor_traverse(n.parent, dim, side, steps);
+  if (t < 0) return -1;
+  if (nodes_[t].leaf) return t;  // coarser neighbor
+  if (steps) *steps += 1;
+  return nodes_[t].children[mirrored];
+}
+
+template <int D>
+void CellTree<D>::neighbor_leaves(int id, int dim, int side,
+                                  std::vector<int>& out,
+                                  std::int64_t* steps) const {
+  out.clear();
+  const int t = neighbor_traverse(id, dim, side, steps);
+  if (t < 0) return;
+  if (nodes_[t].leaf) {
+    out.push_back(t);
+    return;
+  }
+  // Descend to the leaves touching the shared face.
+  const int face_bit = side ? 0 : 1;
+  std::vector<int> stack{t};
+  while (!stack.empty()) {
+    int b = stack.back();
+    stack.pop_back();
+    if (nodes_[b].leaf) {
+      out.push_back(b);
+      continue;
+    }
+    for (int ci = 0; ci < kNumChildren; ++ci) {
+      if (((ci >> dim) & 1) != face_bit) continue;
+      if (steps) *steps += 1;
+      stack.push_back(nodes_[b].children[ci]);
+    }
+  }
+}
+
+template <int D>
+int CellTree<D>::refine_raw(int id) {
+  Node& n = nodes_[id];
+  AB_REQUIRE(n.leaf, "CellTree::refine: not a leaf");
+  AB_REQUIRE(n.level < cfg_.max_level, "CellTree::refine: level cap");
+  IVec<D> base = n.coords.shifted_left(1);
+  const int child_level = n.level + 1;
+  for (int ci = 0; ci < kNumChildren; ++ci) {
+    IVec<D> off;
+    for (int d = 0; d < D; ++d) off[d] = (ci >> d) & 1;
+    int cid = allocate_node();
+    Node& c = nodes_[cid];
+    c.parent = id;
+    c.coords = base + off;
+    c.level = static_cast<std::int16_t>(child_level);
+    c.child_index = static_cast<std::int8_t>(ci);
+    index_.emplace(key(child_level, c.coords), cid);
+    nodes_[id].children[ci] = cid;
+  }
+  nodes_[id].leaf = false;
+  num_leaves_ += kNumChildren - 1;
+  leaves_valid_ = false;
+  return id;
+}
+
+template <int D>
+int CellTree<D>::refine(int id) {
+  AB_REQUIRE(is_live(id) && nodes_[id].leaf, "CellTree::refine: bad id");
+  int refined = 0;
+  std::vector<int> stack{id};
+  std::vector<int> nbrs;
+  while (!stack.empty()) {
+    int b = stack.back();
+    if (!is_live(b) || !nodes_[b].leaf) {
+      stack.pop_back();
+      continue;
+    }
+    const int need = nodes_[b].level + 1 - cfg_.max_level_diff;
+    bool blocked = false;
+    for (int dim = 0; dim < D && !blocked; ++dim) {
+      for (int side = 0; side < 2 && !blocked; ++side) {
+        neighbor_leaves(b, dim, side, nbrs);
+        for (int nb : nbrs) {
+          if (nodes_[nb].level < need) {
+            stack.push_back(nb);
+            blocked = true;
+          }
+        }
+      }
+    }
+    if (!blocked) {
+      refine_raw(b);
+      ++refined;
+      stack.pop_back();
+    }
+  }
+  return refined;
+}
+
+template <int D>
+bool CellTree<D>::can_coarsen(int parent_id) const {
+  if (!is_live(parent_id) || nodes_[parent_id].leaf) return false;
+  const Node& p = nodes_[parent_id];
+  for (int ci = 0; ci < kNumChildren; ++ci)
+    if (!nodes_[p.children[ci]].leaf) return false;
+  const int limit = p.level + cfg_.max_level_diff;
+  std::vector<int> nbrs;
+  for (int ci = 0; ci < kNumChildren; ++ci) {
+    const int c = p.children[ci];
+    for (int dim = 0; dim < D; ++dim) {
+      const int outward = (ci >> dim) & 1;
+      neighbor_leaves(c, dim, outward, nbrs);
+      for (int nb : nbrs)
+        if (nodes_[nb].level > limit) return false;
+    }
+  }
+  return true;
+}
+
+template <int D>
+void CellTree<D>::coarsen(int parent_id) {
+  AB_REQUIRE(can_coarsen(parent_id), "CellTree::coarsen: constraint");
+  Node& p = nodes_[parent_id];
+  for (int ci = 0; ci < kNumChildren; ++ci) {
+    const int c = p.children[ci];
+    index_.erase(key(nodes_[c].level, nodes_[c].coords));
+    free_node(c);
+    p.children[ci] = -1;
+  }
+  p.leaf = true;
+  num_leaves_ -= kNumChildren - 1;
+  leaves_valid_ = false;
+}
+
+template <int D>
+const std::vector<int>& CellTree<D>::leaves() const {
+  if (!leaves_valid_) {
+    leaves_.clear();
+    leaves_.reserve(static_cast<std::size_t>(num_leaves_));
+    for (int id = 0; id < node_capacity(); ++id)
+      if (nodes_[id].live && nodes_[id].leaf) leaves_.push_back(id);
+    leaves_valid_ = true;
+  }
+  return leaves_;
+}
+
+template class CellTree<1>;
+template class CellTree<2>;
+template class CellTree<3>;
+
+}  // namespace ab

@@ -1,0 +1,146 @@
+// Cell-based tree AMR: the baseline data structure the paper argues against.
+//
+// Every node of the tree is a single cell (a quadtree in 2D, octree in 3D;
+// Samet ref [5]). Only parent/child links are stored; locating a neighbor
+// requires an upward traversal to a common ancestor and a mirrored descent —
+// the indirect-addressing cost the adaptive block structure eliminates. The
+// paper could not time a true single-cell tree ("it would have required
+// significant rewriting of code"); this implementation provides that missing
+// data point for Figure 5 and the neighbor-find ablation.
+//
+// A coordinate hash index is maintained *only* for construction and for test
+// oracles; neighbor_traverse() never touches it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/box.hpp"
+#include "util/error.hpp"
+#include "util/vec.hpp"
+
+namespace ab {
+
+template <int D>
+class CellTree {
+ public:
+  static constexpr int kNumChildren = 1 << D;
+
+  struct Config {
+    /// Root grid of single cells (level 0).
+    IVec<D> root_cells = IVec<D>(1);
+    RVec<D> domain_lo = RVec<D>(0.0);
+    RVec<D> domain_hi = RVec<D>(1.0);
+    std::array<bool, D> periodic{};
+    int max_level = 16;
+    int max_level_diff = 1;
+  };
+
+  explicit CellTree(const Config& cfg);
+
+  const Config& config() const { return cfg_; }
+  int num_nodes() const { return live_nodes_; }
+  int num_leaves() const { return num_leaves_; }
+  int node_capacity() const { return static_cast<int>(nodes_.size()); }
+
+  bool is_live(int id) const {
+    return id >= 0 && id < node_capacity() && nodes_[id].live;
+  }
+  bool is_leaf(int id) const { return nodes_[id].leaf; }
+  int level(int id) const { return nodes_[id].level; }
+  IVec<D> coords(int id) const { return nodes_[id].coords; }
+  int parent(int id) const { return nodes_[id].parent; }
+  int child(int id, int ci) const { return nodes_[id].children[ci]; }
+  int child_index(int id) const { return nodes_[id].child_index; }
+
+  /// Refine leaf cell `id` into 2^D children, cascading to maintain the
+  /// level-difference constraint. Returns the number of cells refined.
+  int refine(int id);
+
+  bool can_coarsen(int parent_id) const;
+  /// Merge the children of `parent_id`; requires can_coarsen.
+  void coarsen(int parent_id);
+
+  /// Locate the equal-or-coarser neighbor of `id` across face (dim, side)
+  /// using ONLY parent/child links (Samet's algorithm). Returns the node at
+  /// the same level if one exists (it may be internal, i.e. subdivided), or
+  /// the coarser leaf containing that region, or -1 at a domain boundary.
+  /// If `steps` is non-null, the number of parent/child link dereferences is
+  /// added to it (the ablation's traversal-cost metric).
+  int neighbor_traverse(int id, int dim, int side,
+                        std::int64_t* steps = nullptr) const;
+
+  /// All leaf cells adjacent to `id` across (dim, side), via traversal plus
+  /// descent. Under the 2:1 constraint there are at most 2^(D-1).
+  void neighbor_leaves(int id, int dim, int side, std::vector<int>& out,
+                       std::int64_t* steps = nullptr) const;
+
+  /// Test oracle: hash lookup of the node at (level, coords); -1 if absent.
+  int find(int level, IVec<D> coords) const;
+
+  /// Leaf ids (unsorted; stable between topology changes).
+  const std::vector<int>& leaves() const;
+
+  // Geometry (cell centers / sizes).
+  RVec<D> cell_size(int level) const {
+    RVec<D> s;
+    for (int d = 0; d < D; ++d)
+      s[d] = (cfg_.domain_hi[d] - cfg_.domain_lo[d]) /
+             (static_cast<double>(cfg_.root_cells[d]) * (1 << level));
+    return s;
+  }
+  RVec<D> cell_center(int id) const {
+    RVec<D> s = cell_size(level(id));
+    RVec<D> x;
+    IVec<D> c = coords(id);
+    for (int d = 0; d < D; ++d) x[d] = cfg_.domain_lo[d] + (c[d] + 0.5) * s[d];
+    return x;
+  }
+
+  /// Total memory the topology uses per cell, in bytes (for the paper's
+  /// "ghost cell to computational cell ratio is far superior" comparison).
+  std::size_t topology_bytes() const { return nodes_.size() * sizeof(Node); }
+
+ private:
+  struct Node {
+    int parent = -1;
+    std::array<int, kNumChildren> children{};
+    IVec<D> coords{};
+    std::int16_t level = 0;
+    std::int8_t child_index = 0;
+    bool leaf = true;
+    bool live = true;
+  };
+
+  static std::uint64_t key(int level, IVec<D> c) {
+    std::uint64_t k = static_cast<std::uint64_t>(level);
+    for (int d = 0; d < D; ++d)
+      k = (k << 20) |
+          static_cast<std::uint64_t>(static_cast<std::uint32_t>(c[d]) & 0xfffffu);
+    return k;
+  }
+
+  int allocate_node();
+  void free_node(int id);
+  int refine_raw(int id);
+  bool wrap_root(IVec<D>& c) const;
+  int root_at(IVec<D> c) const;
+
+  Config cfg_;
+  std::vector<Node> nodes_;
+  std::vector<int> free_list_;
+  std::unordered_map<std::uint64_t, int> index_;
+  IVec<D> root_extent_{};
+  int live_nodes_ = 0;
+  int num_leaves_ = 0;
+  mutable std::vector<int> leaves_;
+  mutable bool leaves_valid_ = false;
+};
+
+extern template class CellTree<1>;
+extern template class CellTree<2>;
+extern template class CellTree<3>;
+
+}  // namespace ab

@@ -1,0 +1,73 @@
+#include "core/bc.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ab {
+
+template <int D>
+void apply_boundary_conditions(BlockStore<D>& store, const Forest<D>& forest,
+                               const std::vector<BoundaryFace>& faces,
+                               const BcSet<D>& bcs, double time) {
+  const BlockLayout<D>& lay = store.layout();
+  const int g = lay.ghost;
+  const int nvar = lay.nvar;
+  std::vector<double> state(static_cast<std::size_t>(nvar));
+
+  for (const BoundaryFace& bf : faces) {
+    BlockView<D> v = store.view(bf.block);
+    const Box<D> slab =
+        lay.interior_box().face_ghost_slab(bf.dim, bf.side, g);
+    const BcKind kind = bcs.kind[2 * bf.dim + bf.side];
+    const int m = lay.interior[bf.dim];
+
+    switch (kind) {
+      case BcKind::Outflow:
+        for_each_cell<D>(slab, [&](IVec<D> q) {
+          IVec<D> p = q;
+          p[bf.dim] = bf.side ? m - 1 : 0;
+          for (int f = 0; f < nvar; ++f) v.at(f, q) = v.at(f, p);
+        });
+        break;
+
+      case BcKind::Reflect:
+        for_each_cell<D>(slab, [&](IVec<D> q) {
+          IVec<D> p = q;
+          // Mirror across the face: ghost cell -1-k maps to interior cell k
+          // (low side); ghost m+k maps to m-1-k (high side).
+          p[bf.dim] = bf.side ? 2 * m - 1 - q[bf.dim] : -1 - q[bf.dim];
+          for (int f = 0; f < nvar; ++f)
+            v.at(f, q) = bcs.sign(bf.dim, f) * v.at(f, p);
+        });
+        break;
+
+      case BcKind::Dirichlet: {
+        AB_REQUIRE(bcs.dirichlet != nullptr,
+                   "Dirichlet BC requires a callback");
+        const RVec<D> lo = forest.block_lo(bf.block);
+        RVec<D> dx = forest.block_size(forest.level(bf.block));
+        for (int d = 0; d < D; ++d) dx[d] /= lay.interior[d];
+        for_each_cell<D>(slab, [&](IVec<D> q) {
+          RVec<D> x;
+          for (int d = 0; d < D; ++d) x[d] = lo[d] + (q[d] + 0.5) * dx[d];
+          bcs.dirichlet(x, time, state.data());
+          for (int f = 0; f < nvar; ++f) v.at(f, q) = state[f];
+        });
+        break;
+      }
+    }
+  }
+}
+
+template void apply_boundary_conditions<1>(BlockStore<1>&, const Forest<1>&,
+                                           const std::vector<BoundaryFace>&,
+                                           const BcSet<1>&, double);
+template void apply_boundary_conditions<2>(BlockStore<2>&, const Forest<2>&,
+                                           const std::vector<BoundaryFace>&,
+                                           const BcSet<2>&, double);
+template void apply_boundary_conditions<3>(BlockStore<3>&, const Forest<3>&,
+                                           const std::vector<BoundaryFace>&,
+                                           const BcSet<3>&, double);
+
+}  // namespace ab

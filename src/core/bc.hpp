@@ -1,0 +1,71 @@
+// Physical boundary conditions on domain faces.
+//
+// The ghost exchanger fills ghost slabs from neighbors; faces on the domain
+// boundary (non-periodic) are listed by GhostExchanger::boundary_faces() and
+// handled here. Periodic wrap is done by the exchanger itself (wrapped
+// neighbor lookup), not by this module.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "core/block_store.hpp"
+#include "core/forest.hpp"
+#include "core/ghost.hpp"
+#include "util/vec.hpp"
+
+namespace ab {
+
+enum class BcKind {
+  Outflow,   ///< zero-gradient: copy the nearest interior cell
+  Reflect,   ///< mirror interior cells, flipping the sign of chosen vars
+  Dirichlet  ///< prescribed state from a user callback (inflow)
+};
+
+/// Boundary condition specification for all 2*D domain faces.
+template <int D>
+struct BcSet {
+  /// Kind per face, indexed [2*dim + side].
+  std::array<BcKind, 2 * D> kind{};
+
+  /// For Reflect: sign applied to variable v when mirroring across a face
+  /// normal to dimension `dim` (normal velocity/momentum components get -1).
+  /// Indexed [dim][v]; defaults to +1 when empty.
+  std::array<std::vector<double>, D> reflect_sign{};
+
+  /// For Dirichlet: fills `state` (nvar values) at physical position `x`.
+  std::function<void(const RVec<D>& x, double t, double* state)> dirichlet;
+
+  BcSet() { kind.fill(BcKind::Outflow); }
+
+  static BcSet all(BcKind k) {
+    BcSet b;
+    b.kind.fill(k);
+    return b;
+  }
+
+  double sign(int dim, int v) const {
+    if (reflect_sign[dim].empty()) return 1.0;
+    return reflect_sign[dim][static_cast<std::size_t>(v)];
+  }
+};
+
+/// Apply boundary conditions to every (block, face) in `faces`, writing the
+/// ghost slab of each. `time` is forwarded to Dirichlet callbacks.
+template <int D>
+void apply_boundary_conditions(BlockStore<D>& store, const Forest<D>& forest,
+                               const std::vector<BoundaryFace>& faces,
+                               const BcSet<D>& bcs, double time = 0.0);
+
+extern template void apply_boundary_conditions<1>(
+    BlockStore<1>&, const Forest<1>&, const std::vector<BoundaryFace>&,
+    const BcSet<1>&, double);
+extern template void apply_boundary_conditions<2>(
+    BlockStore<2>&, const Forest<2>&, const std::vector<BoundaryFace>&,
+    const BcSet<2>&, double);
+extern template void apply_boundary_conditions<3>(
+    BlockStore<3>&, const Forest<3>&, const std::vector<BoundaryFace>&,
+    const BcSet<3>&, double);
+
+}  // namespace ab

@@ -1,0 +1,87 @@
+// Per-block face-flux storage for conservative coarse/fine flux correction.
+//
+// The paper's scheme couples resolution levels through ghost cells only,
+// which is not strictly conservative at coarse/fine faces (the coarse and
+// fine sides integrate different numerical fluxes through the shared face).
+// Recording the boundary-face fluxes of each block lets a FluxRegister
+// (src/amr/flux_register.hpp) replace the coarse flux with the area-average
+// of the fine fluxes after each stage — the classic Berger-Colella
+// refluxing, implemented here as an optional extension.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/block_store.hpp"
+#include "util/box.hpp"
+#include "util/error.hpp"
+
+namespace ab {
+
+/// Linear index of a face cell: the cell coordinates with dimension `dim`
+/// ignored, dimension 0 (or the lowest tangential dimension) fastest.
+template <int D>
+struct FaceIndexer {
+  int dim = 0;
+  IVec<D> m{};
+
+  std::int64_t cells() const {
+    std::int64_t n = 1;
+    for (int d = 0; d < D; ++d)
+      if (d != dim) n *= m[d];
+    return n;
+  }
+  std::int64_t index(IVec<D> p) const {
+    std::int64_t off = 0, stride = 1;
+    for (int d = 0; d < D; ++d) {
+      if (d == dim) continue;
+      AB_ASSERT(p[d] >= 0 && p[d] < m[d]);
+      off += p[d] * stride;
+      stride *= m[d];
+    }
+    return off;
+  }
+};
+
+/// Numerical fluxes on the 2*D boundary faces of one block, per variable.
+/// Layout per face: var-major, face cells fastest (FaceIndexer order).
+template <int D>
+class FaceFluxStorage {
+ public:
+  FaceFluxStorage() = default;
+
+  void allocate(const BlockLayout<D>& lay) {
+    m_ = lay.interior;
+    nvar_ = lay.nvar;
+    for (int dim = 0; dim < D; ++dim) {
+      FaceIndexer<D> ix{dim, m_};
+      const std::size_t n = static_cast<std::size_t>(ix.cells() * nvar_);
+      face_[2 * dim + 0].assign(n, 0.0);
+      face_[2 * dim + 1].assign(n, 0.0);
+    }
+    allocated_ = true;
+  }
+  bool allocated() const { return allocated_; }
+
+  /// Flux of variable `var` at face (dim, side), face cell `p` (the cell
+  /// coordinates of the adjacent interior cell; p[dim] is ignored).
+  double& at(int dim, int side, IVec<D> p, int var) {
+    FaceIndexer<D> ix{dim, m_};
+    return face_[2 * dim + side][static_cast<std::size_t>(
+        var * ix.cells() + ix.index(p))];
+  }
+  double at(int dim, int side, IVec<D> p, int var) const {
+    FaceIndexer<D> ix{dim, m_};
+    return face_[2 * dim + side][static_cast<std::size_t>(
+        var * ix.cells() + ix.index(p))];
+  }
+
+ private:
+  std::array<std::vector<double>, 2 * D> face_;
+  IVec<D> m_{};
+  int nvar_ = 0;
+  bool allocated_ = false;
+};
+
+}  // namespace ab

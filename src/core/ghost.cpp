@@ -1,0 +1,256 @@
+#include "core/ghost.hpp"
+
+#include <utility>
+
+namespace ab {
+
+template <int D>
+GhostExchanger<D>::GhostExchanger(const Forest<D>& forest,
+                                  const BlockLayout<D>& layout,
+                                  Prolongation prolongation)
+    : forest_(&forest), layout_(layout), prolongation_(prolongation) {
+  AB_REQUIRE(layout_.ghost >= 1, "GhostExchanger: layout has no ghost cells");
+  AB_REQUIRE(forest.config().max_level_diff == 1,
+             "GhostExchanger: requires the 2:1 refinement constraint");
+  for (int d = 0; d < D; ++d)
+    AB_REQUIRE(layout_.interior[d] % 2 == 0,
+               "GhostExchanger: interior extents must be even so coarse/fine "
+               "interfaces are cell-aligned");
+  rebuild();
+}
+
+template <int D>
+void GhostExchanger<D>::plan_face(int id, int dim, int side) {
+  const Forest<D>& f = *forest_;
+  const IVec<D> m = layout_.interior;
+  const int g = layout_.ghost;
+  const Box<D> slab = layout_.interior_box().face_ghost_slab(dim, side, g);
+
+  auto nb = f.face_neighbor(id, dim, side);
+  if (nb.kind == Forest<D>::NeighborKind::Boundary) {
+    boundary_faces_.push_back(BoundaryFace{id, dim, side});
+    return;
+  }
+
+  const IVec<D> c = f.coords(id);
+  IVec<D> lo_dst;  // global cell-index low corner of dst at its level
+  for (int d = 0; d < D; ++d) lo_dst[d] = c[d] * m[d];
+  const IVec<D> n_u = c + unit<D>(dim, side ? 1 : -1);  // unwrapped
+
+  if (nb.kind == Forest<D>::NeighborKind::Same) {
+    GhostOp<D> op;
+    op.kind = GhostOpKind::SameCopy;
+    op.src = nb.ids[0];
+    op.dst = id;
+    op.face_dim = static_cast<std::int8_t>(dim);
+    op.face_side = static_cast<std::int8_t>(side);
+    op.dst_box = slab;
+    op.a = IVec<D>{};
+    op.a[dim] = side ? -m[dim] : m[dim];
+    ops_.push_back(op);
+    return;
+  }
+
+  if (nb.kind == Forest<D>::NeighborKind::Finer) {
+    // Wrap displacement between the unwrapped neighbor location and the
+    // stored (wrapped) node, expressed at the finer level.
+    IVec<D> n_w = n_u;
+    bool ok = f.wrap_coords(f.level(id), n_w);
+    AB_ASSERT(ok);
+    (void)ok;
+    const IVec<D> wrap_fine = (n_u - n_w).shifted_left(1);
+    for (int i = 0; i < Forest<D>::kFaceChildren; ++i) {
+      const int src = nb.ids[i];
+      const IVec<D> fu = f.coords(src) + wrap_fine;  // unwrapped fine coords
+      GhostOp<D> op;
+      op.kind = GhostOpKind::Restrict;
+      op.src = src;
+      op.dst = id;
+      op.face_dim = static_cast<std::int8_t>(dim);
+      op.face_side = static_cast<std::int8_t>(side);
+      // fine src corner = 2*dst_local + a
+      for (int d = 0; d < D; ++d) op.a[d] = 2 * lo_dst[d] - fu[d] * m[d];
+      // dst cells covered by this fine block, in dst-local coarse indices.
+      Box<D> cover;
+      for (int d = 0; d < D; ++d) {
+        cover.lo[d] = ((fu[d] * m[d]) >> 1) - lo_dst[d];
+        cover.hi[d] = (((fu[d] + 1) * m[d]) >> 1) - lo_dst[d];
+      }
+      op.dst_box = intersect(slab, cover);
+      AB_ASSERT(!op.dst_box.empty());
+      ops_.push_back(op);
+    }
+    return;
+  }
+
+  // Coarser neighbor: prolongation.
+  const IVec<D> n_cu = n_u.shifted_right(1);  // unwrapped coarse coords
+  GhostOp<D> op;
+  op.kind = GhostOpKind::Prolong;
+  op.src = nb.ids[0];
+  op.dst = id;
+  op.face_dim = static_cast<std::int8_t>(dim);
+  op.face_side = static_cast<std::int8_t>(side);
+  op.a = lo_dst;
+  for (int d = 0; d < D; ++d) op.b[d] = n_cu[d] * m[d];
+  // Slope-stencil validity: the source interior, extended one cell into
+  // every source ghost slab that fill()'s first phase populates. The slab
+  // facing the destination is always restriction-filled (by the destination
+  // itself); other slabs qualify when the source's neighbor there is Same
+  // or Finer. Coarser (phase 2) and Boundary (filled later, by BCs) do not.
+  op.valid = layout_.interior_box();
+  for (int d = 0; d < D; ++d) {
+    for (int s = 0; s < 2; ++s) {
+      bool extend;
+      if (d == dim) {
+        // The face toward dst is (dim, 1-side) as seen from the source.
+        extend = (s == 1 - side);
+      } else {
+        const auto k = f.face_neighbor(op.src, d, s).kind;
+        extend = (k == Forest<D>::NeighborKind::Same ||
+                  k == Forest<D>::NeighborKind::Finer);
+      }
+      if (!extend) continue;
+      if (s == 0)
+        op.valid.lo[d] -= 1;
+      else
+        op.valid.hi[d] += 1;
+    }
+  }
+  Box<D> cover;  // src's region in dst-local fine indices
+  for (int d = 0; d < D; ++d) {
+    cover.lo[d] = 2 * n_cu[d] * m[d] - lo_dst[d];
+    cover.hi[d] = 2 * (n_cu[d] + 1) * m[d] - lo_dst[d];
+  }
+  op.dst_box = intersect(slab, cover);
+  AB_ASSERT(op.dst_box == slab);  // under 2:1, the coarse block spans the face
+  ops_.push_back(op);
+}
+
+template <int D>
+void GhostExchanger<D>::rebuild() {
+  ops_.clear();
+  boundary_faces_.clear();
+  const auto& leaves = forest_->leaves();
+  ops_.reserve(leaves.size() * Forest<D>::kNumFaces);
+  for (int id : leaves)
+    for (int dim = 0; dim < D; ++dim)
+      for (int side = 0; side < 2; ++side) plan_face(id, dim, side);
+
+  ops_by_dst_.assign(forest_->node_capacity(), {});
+  for (int i = 0; i < static_cast<int>(ops_.size()); ++i)
+    ops_by_dst_[ops_[i].dst].push_back(i);
+}
+
+namespace {
+
+/// Evaluate one op from the source data, emitting (var, cell, value) in a
+/// deterministic order (vars outer, dst_box cells inner). Shared by the
+/// in-place apply and the sender-side message pack.
+template <int D, class Emit>
+void compute_op(const BlockLayout<D>& layout, Prolongation prolongation,
+                const ConstBlockView<D>& src, const GhostOp<D>& op,
+                Emit&& emit) {
+  const int nvar = layout.nvar;
+  switch (op.kind) {
+    case GhostOpKind::SameCopy:
+      for (int v = 0; v < nvar; ++v)
+        for_each_cell<D>(op.dst_box, [&](IVec<D> q) {
+          emit(v, q, src.at(v, q + op.a));
+        });
+      break;
+    case GhostOpKind::Restrict:
+      for (int v = 0; v < nvar; ++v)
+        for_each_cell<D>(op.dst_box, [&](IVec<D> q) {
+          emit(v, q, restrict_value<D>(src, v, q.shifted_left(1) + op.a));
+        });
+      break;
+    case GhostOpKind::Prolong:
+      for (int v = 0; v < nvar; ++v)
+        for_each_cell<D>(op.dst_box, [&](IVec<D> q) {
+          IVec<D> gf = q + op.a;  // global fine index (unwrapped)
+          IVec<D> cc, parity;
+          for (int d = 0; d < D; ++d) {
+            cc[d] = (gf[d] >> 1) - op.b[d];
+            parity[d] = gf[d] & 1;
+          }
+          emit(v, q,
+               prolong_value<D>(src, v, cc, parity, op.valid, prolongation));
+        });
+      break;
+  }
+}
+
+}  // namespace
+
+template <int D>
+void GhostExchanger<D>::apply_op(BlockStore<D>& store,
+                                 const GhostOp<D>& op) const {
+  BlockView<D> dst = store.view(op.dst);
+  ConstBlockView<D> src = std::as_const(store).view(op.src);
+  compute_op<D>(layout_, prolongation_, src, op,
+                [&](int v, IVec<D> q, double val) { dst.at(v, q) = val; });
+}
+
+template <int D>
+void GhostExchanger<D>::pack_op(const BlockStore<D>& store,
+                                const GhostOp<D>& op, double* buf) const {
+  ConstBlockView<D> src = store.view(op.src);
+  std::int64_t k = 0;
+  compute_op<D>(layout_, prolongation_, src, op,
+                [&](int, IVec<D>, double val) { buf[k++] = val; });
+}
+
+template <int D>
+void GhostExchanger<D>::unpack_op(BlockStore<D>& store, const GhostOp<D>& op,
+                                  const double* buf) const {
+  BlockView<D> dst = store.view(op.dst);
+  std::int64_t k = 0;
+  for (int v = 0; v < layout_.nvar; ++v)
+    for_each_cell<D>(op.dst_box,
+                     [&](IVec<D> q) { dst.at(v, q) = buf[k++]; });
+}
+
+template <int D>
+void GhostExchanger<D>::fill(BlockStore<D>& store, ThreadPool* pool) const {
+  // Phase 1: same-level copies and restrictions read only source interiors.
+  // Phase 2: prolongations, whose slope stencils may read the ghost cells
+  // phase 1 just filled on their coarse sources. Ops within a phase write
+  // disjoint regions, so each phase is a parallel_for.
+  auto run_phase = [&](bool prolong) {
+    if (pool != nullptr) {
+      pool->parallel_for(static_cast<std::int64_t>(ops_.size()),
+                         [&](std::int64_t i) {
+                           const auto& op = ops_[static_cast<std::size_t>(i)];
+                           if ((op.kind == GhostOpKind::Prolong) == prolong)
+                             apply_op(store, op);
+                         });
+    } else {
+      for (const auto& op : ops_)
+        if ((op.kind == GhostOpKind::Prolong) == prolong)
+          apply_op(store, op);
+    }
+  };
+  run_phase(false);
+  run_phase(true);
+}
+
+template <int D>
+void GhostExchanger<D>::fill_block(BlockStore<D>& store, int dst) const {
+  AB_REQUIRE(dst >= 0 && dst < static_cast<int>(ops_by_dst_.size()),
+             "fill_block: unknown block");
+  for (int i : ops_by_dst_[dst]) apply_op(store, ops_[i]);
+}
+
+template <int D>
+std::int64_t GhostExchanger<D>::total_cells() const {
+  std::int64_t n = 0;
+  for (const auto& op : ops_) n += op.cells();
+  return n;
+}
+
+template class GhostExchanger<1>;
+template class GhostExchanger<2>;
+template class GhostExchanger<3>;
+
+}  // namespace ab

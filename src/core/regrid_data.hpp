@@ -1,0 +1,88 @@
+// Data transfer for refinement and coarsening events.
+//
+// When a block is refined, each child's interior is prolonged from the
+// parent's interior; when 2^D siblings are coarsened, the parent's interior
+// is the conservative restriction of theirs. Both operate on interiors only
+// (ghosts are refilled by the exchanger afterwards).
+#pragma once
+
+#include <utility>
+
+#include "core/block_store.hpp"
+#include "core/forest.hpp"
+#include "core/prolong.hpp"
+
+namespace ab {
+
+/// Allocate the children of a refine event, fill their interiors from the
+/// parent, and release the parent's data. Requires even interior extents.
+template <int D>
+void prolong_to_children(BlockStore<D>& store,
+                         const typename Forest<D>::RefineEvent& ev,
+                         Prolongation kind) {
+  const BlockLayout<D>& lay = store.layout();
+  const IVec<D> m = lay.interior;
+  for (int d = 0; d < D; ++d)
+    AB_REQUIRE(m[d] % 2 == 0,
+               "prolong_to_children: interior extents must be even");
+  AB_REQUIRE(store.has(ev.parent), "prolong_to_children: parent has no data");
+  const Box<D> valid = lay.interior_box();
+  ConstBlockView<D> p = std::as_const(store).view(ev.parent);
+  for (int ci = 0; ci < Forest<D>::kNumChildren; ++ci) {
+    const int child = ev.children[ci];
+    store.ensure(child);
+    BlockView<D> cview = store.view(child);
+    IVec<D> off;  // child origin within the parent, in fine cells
+    for (int d = 0; d < D; ++d) off[d] = ((ci >> d) & 1) * m[d];
+    for (int v = 0; v < lay.nvar; ++v) {
+      for_each_cell<D>(valid, [&](IVec<D> q) {
+        IVec<D> gf = q + off;  // fine index within the parent region
+        IVec<D> cc, parity;
+        for (int d = 0; d < D; ++d) {
+          cc[d] = gf[d] >> 1;
+          parity[d] = gf[d] & 1;
+        }
+        cview.at(v, q) = prolong_value<D>(p, v, cc, parity, valid, kind);
+      });
+    }
+  }
+  store.release(ev.parent);
+}
+
+/// Fill the parent's interior from its children (conservative average), then
+/// release the children's data. Call *before* Forest::coarsen destroys the
+/// child nodes, using the child ids from Forest::children(parent).
+template <int D>
+void restrict_to_parent(BlockStore<D>& store, int parent_id,
+                        const std::array<int, (1 << D)>& children) {
+  const BlockLayout<D>& lay = store.layout();
+  const IVec<D> m = lay.interior;
+  for (int d = 0; d < D; ++d)
+    AB_REQUIRE(m[d] % 2 == 0,
+               "restrict_to_parent: interior extents must be even");
+  store.ensure(parent_id);
+  BlockView<D> pview = store.view(parent_id);
+  for (int ci = 0; ci < (1 << D); ++ci) {
+    AB_REQUIRE(store.has(children[ci]),
+               "restrict_to_parent: child has no data");
+    ConstBlockView<D> cview = std::as_const(store).view(children[ci]);
+    // This child owns the parent sub-box [o*m/2, (o+1)*m/2).
+    Box<D> sub;
+    for (int d = 0; d < D; ++d) {
+      int o = (ci >> d) & 1;
+      sub.lo[d] = o * (m[d] / 2);
+      sub.hi[d] = (o + 1) * (m[d] / 2);
+    }
+    for (int v = 0; v < lay.nvar; ++v) {
+      for_each_cell<D>(sub, [&](IVec<D> p) {
+        IVec<D> corner;
+        for (int d = 0; d < D; ++d)
+          corner[d] = 2 * p[d] - ((ci >> d) & 1) * m[d];
+        pview.at(v, p) = restrict_value<D>(cview, v, corner);
+      });
+    }
+  }
+  for (int ci = 0; ci < (1 << D); ++ci) store.release(children[ci]);
+}
+
+}  // namespace ab

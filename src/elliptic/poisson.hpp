@@ -1,0 +1,95 @@
+// Composite-grid Poisson solver over adaptive blocks.
+//
+// The paper closes: "while our use of adaptive blocks has been motivated by
+// their use in adaptive mesh refinement, the approach can be used for a
+// variety of other problems involving spatial decomposition." This module
+// demonstrates that: lap(u) = f is solved on the leaf composite grid with
+// BiCGSTAB, where the operator application is exactly the AMR machinery —
+// a ghost exchange (copy/restrict/prolong at resolution jumps) followed by
+// the stride-1 five/seven-point stencil over each block's regular array.
+//
+// Boundary handling: fully periodic domains (the constant null space is
+// projected out; f must have zero mean), or Dirichlet data imposed at ghost
+// cell centers via a callback (exact for manufactured solutions).
+#pragma once
+
+#include <functional>
+
+#include "core/bc.hpp"
+#include "core/block_store.hpp"
+#include "core/forest.hpp"
+#include "core/ghost.hpp"
+#include "util/error.hpp"
+
+namespace ab {
+
+template <int D>
+class PoissonSolver {
+ public:
+  struct Options {
+    double tolerance = 1e-10;   ///< on ||r||_2 / ||f||_2
+    int max_iterations = 500;
+    /// Scale the system by 1/|diag(A)| per block (the diagonal is constant
+    /// per refinement level). On multi-level grids this removes the h^-2
+    /// spread between levels from the spectrum and cuts iteration counts;
+    /// identical solutions either way.
+    bool level_scaled_preconditioner = false;
+    /// Dirichlet boundary values evaluated at ghost-cell centers; nullptr
+    /// requires a fully periodic forest.
+    std::function<double(const RVec<D>&)> dirichlet;
+  };
+
+  struct Result {
+    int iterations = 0;
+    double relative_residual = 0.0;
+    bool converged = false;
+  };
+
+  /// The layout must have nvar == 1 and ghost >= 1.
+  PoissonSolver(const Forest<D>& forest, const BlockLayout<D>& layout,
+                Options opt = {});
+
+  /// Solve lap(u) = f. `u` provides the initial guess and receives the
+  /// solution; both stores must have data on every leaf.
+  Result solve(BlockStore<D>& u, const BlockStore<D>& f);
+
+  /// out = lap(u) on every leaf interior (fills u's ghosts in the process).
+  /// With `homogeneous` the Dirichlet data is taken as zero — the linear
+  /// part of the operator, which Krylov iterations must use (the boundary
+  /// contribution belongs to the right-hand side).
+  void apply_laplacian(BlockStore<D>& u, BlockStore<D>& out,
+                       bool homogeneous = false);
+
+  /// Relative residual ||f - lap(u)|| / ||f||.
+  double relative_residual(BlockStore<D>& u, const BlockStore<D>& f);
+
+  // --- composite-grid vector helpers (leaf interiors, volume-weighted) ---
+  double dot(const BlockStore<D>& a, const BlockStore<D>& b) const;
+  double norm(const BlockStore<D>& a) const { return std::sqrt(dot(a, a)); }
+  /// y += alpha * x
+  void axpy(double alpha, const BlockStore<D>& x, BlockStore<D>& y) const;
+  /// y = x
+  void assign(const BlockStore<D>& x, BlockStore<D>& y) const;
+  void set_zero(BlockStore<D>& y) const;
+  /// Volume-weighted mean over the domain.
+  double mean(const BlockStore<D>& a) const;
+  /// a -= mean(a)  (projects out the periodic null space)
+  void remove_mean(BlockStore<D>& a) const;
+
+ private:
+  void fill_ghosts(BlockStore<D>& u, bool homogeneous);
+  /// a *= 1/|diag(A)| per block (level-constant Jacobi scaling).
+  void scale_by_inverse_diagonal(BlockStore<D>& a) const;
+
+  const Forest<D>* forest_;
+  BlockLayout<D> layout_;
+  Options opt_;
+  GhostExchanger<D> exchanger_;
+  bool periodic_ = true;
+  double domain_volume_ = 0.0;
+};
+
+extern template class PoissonSolver<2>;
+extern template class PoissonSolver<3>;
+
+}  // namespace ab

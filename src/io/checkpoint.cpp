@@ -1,0 +1,176 @@
+#include "io/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ab {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x41424b5054303100ull;  // "ABKPT01\0"
+
+template <class T>
+void put(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+template <class T>
+T get(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  AB_REQUIRE(is.good(), "checkpoint: truncated file");
+  return v;
+}
+
+}  // namespace
+
+template <int D>
+void save_checkpoint(const std::string& path, const Forest<D>& forest,
+                     const BlockStore<D>& store, double time) {
+  std::ofstream os(path, std::ios::binary);
+  AB_REQUIRE(os.good(), "save_checkpoint: cannot open " + path);
+  const auto& cfg = forest.config();
+  const BlockLayout<D>& lay = store.layout();
+
+  put(os, kMagic);
+  put(os, static_cast<std::int32_t>(D));
+  for (int d = 0; d < D; ++d) put(os, static_cast<std::int32_t>(cfg.root_blocks[d]));
+  for (int d = 0; d < D; ++d) put(os, cfg.domain_lo[d]);
+  for (int d = 0; d < D; ++d) put(os, cfg.domain_hi[d]);
+  for (int d = 0; d < D; ++d)
+    put(os, static_cast<std::int32_t>(cfg.periodic[d] ? 1 : 0));
+  put(os, static_cast<std::int32_t>(cfg.max_level));
+  put(os, static_cast<std::int32_t>(cfg.max_level_diff));
+  for (int d = 0; d < D; ++d) put(os, static_cast<std::int32_t>(lay.interior[d]));
+  put(os, static_cast<std::int32_t>(lay.ghost));
+  put(os, static_cast<std::int32_t>(lay.nvar));
+  put(os, time);
+
+  const auto& leaves = forest.leaves();
+  put(os, static_cast<std::int64_t>(leaves.size()));
+  std::vector<double> buf(static_cast<std::size_t>(lay.interior_cells()));
+  for (int id : leaves) {
+    put(os, static_cast<std::int32_t>(forest.level(id)));
+    for (int d = 0; d < D; ++d)
+      put(os, static_cast<std::int32_t>(forest.coords(id)[d]));
+    AB_REQUIRE(store.has(id), "save_checkpoint: leaf without data");
+    ConstBlockView<D> v = store.view(id);
+    for (int var = 0; var < lay.nvar; ++var) {
+      std::size_t k = 0;
+      for_each_cell<D>(lay.interior_box(),
+                       [&](IVec<D> p) { buf[k++] = v.at(var, p); });
+      os.write(reinterpret_cast<const char*>(buf.data()),
+               static_cast<std::streamsize>(buf.size() * sizeof(double)));
+    }
+  }
+  AB_REQUIRE(os.good(), "save_checkpoint: write failed");
+}
+
+template <int D>
+double load_checkpoint(const std::string& path, Forest<D>& forest,
+                       BlockStore<D>& store) {
+  std::ifstream is(path, std::ios::binary);
+  AB_REQUIRE(is.good(), "load_checkpoint: cannot open " + path);
+  AB_REQUIRE(get<std::uint64_t>(is) == kMagic,
+             "load_checkpoint: not a checkpoint file");
+  AB_REQUIRE(get<std::int32_t>(is) == D,
+             "load_checkpoint: dimension mismatch");
+
+  const auto& cfg = forest.config();
+  const BlockLayout<D>& lay = store.layout();
+  for (int d = 0; d < D; ++d)
+    AB_REQUIRE(get<std::int32_t>(is) == cfg.root_blocks[d],
+               "load_checkpoint: root_blocks mismatch");
+  for (int d = 0; d < D; ++d)
+    AB_REQUIRE(get<double>(is) == cfg.domain_lo[d],
+               "load_checkpoint: domain_lo mismatch");
+  for (int d = 0; d < D; ++d)
+    AB_REQUIRE(get<double>(is) == cfg.domain_hi[d],
+               "load_checkpoint: domain_hi mismatch");
+  for (int d = 0; d < D; ++d)
+    AB_REQUIRE(get<std::int32_t>(is) == (cfg.periodic[d] ? 1 : 0),
+               "load_checkpoint: periodicity mismatch");
+  AB_REQUIRE(get<std::int32_t>(is) == cfg.max_level,
+             "load_checkpoint: max_level mismatch");
+  AB_REQUIRE(get<std::int32_t>(is) == cfg.max_level_diff,
+             "load_checkpoint: max_level_diff mismatch");
+  for (int d = 0; d < D; ++d)
+    AB_REQUIRE(get<std::int32_t>(is) == lay.interior[d],
+               "load_checkpoint: cells-per-block mismatch");
+  AB_REQUIRE(get<std::int32_t>(is) == lay.ghost,
+             "load_checkpoint: ghost width mismatch");
+  AB_REQUIRE(get<std::int32_t>(is) == lay.nvar,
+             "load_checkpoint: variable count mismatch");
+  const double time = get<double>(is);
+
+  AB_REQUIRE(forest.num_leaves() ==
+                 static_cast<int>(cfg.root_blocks.product()),
+             "load_checkpoint: forest must be pristine (roots only)");
+
+  struct Rec {
+    std::int32_t level;
+    IVec<D> coords;
+    std::vector<double> data;
+  };
+  const std::int64_t n = get<std::int64_t>(is);
+  AB_REQUIRE(n > 0, "load_checkpoint: empty checkpoint");
+  std::vector<Rec> recs(static_cast<std::size_t>(n));
+  const std::size_t doubles_per_block =
+      static_cast<std::size_t>(lay.interior_cells() * lay.nvar);
+  for (auto& r : recs) {
+    r.level = get<std::int32_t>(is);
+    for (int d = 0; d < D; ++d) r.coords[d] = get<std::int32_t>(is);
+    r.data.resize(doubles_per_block);
+    is.read(reinterpret_cast<char*>(r.data.data()),
+            static_cast<std::streamsize>(doubles_per_block * sizeof(double)));
+    AB_REQUIRE(is.good(), "load_checkpoint: truncated block data");
+  }
+
+  // Rebuild the topology: refining in level order guarantees every parent
+  // exists when its children are created, with no cascades (the saved
+  // forest satisfied the constraint).
+  std::stable_sort(recs.begin(), recs.end(),
+                   [](const Rec& a, const Rec& b) { return a.level < b.level; });
+  for (const auto& r : recs) {
+    for (int l = 0; l < r.level; ++l) {
+      const int anc = forest.find(l, r.coords.shifted_right(r.level - l));
+      AB_REQUIRE(anc >= 0, "load_checkpoint: inconsistent topology");
+      if (forest.is_leaf(anc)) forest.refine(anc);
+    }
+  }
+  AB_REQUIRE(forest.num_leaves() == static_cast<int>(n),
+             "load_checkpoint: topology mismatch after rebuild");
+
+  // Data, keyed by (level, coords).
+  for (const auto& r : recs) {
+    const int id = forest.find(r.level, r.coords);
+    AB_REQUIRE(id >= 0 && forest.is_leaf(id),
+               "load_checkpoint: saved block is not a leaf after rebuild");
+    store.ensure(id);
+    BlockView<D> v = store.view(id);
+    std::size_t k = 0;
+    for (int var = 0; var < lay.nvar; ++var) {
+      for_each_cell<D>(lay.interior_box(),
+                       [&](IVec<D> p) { v.at(var, p) = r.data[k++]; });
+    }
+  }
+  return time;
+}
+
+template void save_checkpoint<1>(const std::string&, const Forest<1>&,
+                                 const BlockStore<1>&, double);
+template void save_checkpoint<2>(const std::string&, const Forest<2>&,
+                                 const BlockStore<2>&, double);
+template void save_checkpoint<3>(const std::string&, const Forest<3>&,
+                                 const BlockStore<3>&, double);
+template double load_checkpoint<1>(const std::string&, Forest<1>&,
+                                   BlockStore<1>&);
+template double load_checkpoint<2>(const std::string&, Forest<2>&,
+                                   BlockStore<2>&);
+template double load_checkpoint<3>(const std::string&, Forest<3>&,
+                                   BlockStore<3>&);
+
+}  // namespace ab

@@ -1,0 +1,44 @@
+// Binary checkpoint/restart of an adaptive block grid.
+//
+// Long-running AMR simulations (the paper's solar-wind runs took many
+// hours of T3D time) need restart files. The format stores the forest
+// configuration, every leaf as (level, coords) plus its interior field
+// data, and the solution time. Restoration rebuilds the topology by
+// re-refining a pristine forest — node ids may differ between save and
+// load, so data is keyed by logical coordinates, never by id.
+#pragma once
+
+#include <string>
+
+#include "core/block_store.hpp"
+#include "core/forest.hpp"
+
+namespace ab {
+
+/// Write the forest topology and all leaf interiors to `path`.
+template <int D>
+void save_checkpoint(const std::string& path, const Forest<D>& forest,
+                     const BlockStore<D>& store, double time);
+
+/// Restore a checkpoint into `forest` (which must be freshly constructed —
+/// no refinement yet — with a configuration matching the file) and `store`
+/// (matching layout). Returns the saved solution time. Ghost cells are NOT
+/// restored; refill them before stepping.
+template <int D>
+double load_checkpoint(const std::string& path, Forest<D>& forest,
+                       BlockStore<D>& store);
+
+extern template void save_checkpoint<1>(const std::string&, const Forest<1>&,
+                                        const BlockStore<1>&, double);
+extern template void save_checkpoint<2>(const std::string&, const Forest<2>&,
+                                        const BlockStore<2>&, double);
+extern template void save_checkpoint<3>(const std::string&, const Forest<3>&,
+                                        const BlockStore<3>&, double);
+extern template double load_checkpoint<1>(const std::string&, Forest<1>&,
+                                          BlockStore<1>&);
+extern template double load_checkpoint<2>(const std::string&, Forest<2>&,
+                                          BlockStore<2>&);
+extern template double load_checkpoint<3>(const std::string&, Forest<3>&,
+                                          BlockStore<3>&);
+
+}  // namespace ab

@@ -1,0 +1,106 @@
+#include "io/output.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ab {
+
+void write_pgm_slice(const std::string& path, const Forest<2>& forest,
+                     const BlockStore<2>& store, int var) {
+  const BlockLayout<2>& lay = store.layout();
+  AB_REQUIRE(var >= 0 && var < lay.nvar, "write_pgm_slice: bad variable");
+  const int L = forest.stats().max_level;
+  const IVec<2> ext = forest.level_extent(L);
+  const int W = ext[0] * lay.interior[0];
+  const int H = ext[1] * lay.interior[1];
+
+  // Gather samples at the finest-level cell resolution.
+  std::vector<double> img(static_cast<std::size_t>(W) * H, 0.0);
+  double vmin = 1e300, vmax = -1e300;
+  for (int id : forest.leaves()) {
+    const int scale = 1 << (L - forest.level(id));
+    ConstBlockView<2> v = store.view(id);
+    const IVec<2> c = forest.coords(id);
+    for_each_cell<2>(lay.interior_box(), [&](IVec<2> p) {
+      const double u = v.at(var, p);
+      vmin = std::min(vmin, u);
+      vmax = std::max(vmax, u);
+      // The cell covers a scale x scale patch of finest-level pixels.
+      const int x0 = (c[0] * lay.interior[0] + p[0]) * scale;
+      const int y0 = (c[1] * lay.interior[1] + p[1]) * scale;
+      for (int dy = 0; dy < scale; ++dy)
+        for (int dx = 0; dx < scale; ++dx)
+          img[static_cast<std::size_t>(y0 + dy) * W + (x0 + dx)] = u;
+    });
+  }
+
+  std::ofstream os(path, std::ios::binary);
+  AB_REQUIRE(os.good(), "write_pgm_slice: cannot open " + path);
+  os << "P5\n" << W << " " << H << "\n255\n";
+  const double span = (vmax > vmin) ? (vmax - vmin) : 1.0;
+  // PGM rows run top-to-bottom; our y axis runs bottom-to-top.
+  for (int y = H - 1; y >= 0; --y) {
+    for (int x = 0; x < W; ++x) {
+      const double t =
+          (img[static_cast<std::size_t>(y) * W + x] - vmin) / span;
+      os.put(static_cast<char>(
+          static_cast<unsigned char>(std::clamp(t, 0.0, 1.0) * 255.0)));
+    }
+  }
+  AB_REQUIRE(os.good(), "write_pgm_slice: write failed");
+}
+
+std::string ascii_render_levels(const Forest<2>& forest) {
+  const int L = forest.stats().max_level;
+  const IVec<2> ext = forest.level_extent(L);
+  std::string out;
+  out.reserve(static_cast<std::size_t>((ext[0] + 1) * ext[1]));
+  for (int y = ext[1] - 1; y >= 0; --y) {
+    for (int x = 0; x < ext[0]; ++x) {
+      const int leaf = forest.find_enclosing_leaf(L, IVec<2>{x, y});
+      out += (leaf >= 0) ? static_cast<char>('0' + forest.level(leaf)) : '?';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ascii_render_blocks(const Forest<2>& forest) {
+  const int L = forest.stats().max_level;
+  const IVec<2> ext = forest.level_extent(L);
+  const int cw = 4, ch = 2;  // canvas chars per finest block position
+  const int W = ext[0] * cw + 1;
+  const int H = ext[1] * ch + 1;
+  std::vector<std::string> canvas(static_cast<std::size_t>(H),
+                                  std::string(static_cast<std::size_t>(W), ' '));
+  for (int id : forest.leaves()) {
+    const int s = 1 << (L - forest.level(id));
+    const IVec<2> c = forest.coords(id);
+    const int x0 = c[0] * s * cw;
+    const int x1 = (c[0] + 1) * s * cw;
+    // Canvas row 0 is the top (max y).
+    const int ytop = (ext[1] - (c[1] + 1) * s) * ch;
+    const int ybot = (ext[1] - c[1] * s) * ch;
+    for (int x = x0; x <= x1; ++x) {
+      canvas[ytop][x] = '-';
+      canvas[ybot][x] = '-';
+    }
+    for (int y = ytop; y <= ybot; ++y) {
+      canvas[y][x0] = (canvas[y][x0] == '-') ? '+' : '|';
+      canvas[y][x1] = (canvas[y][x1] == '-') ? '+' : '|';
+    }
+    canvas[ytop][x0] = canvas[ytop][x1] = '+';
+    canvas[ybot][x0] = canvas[ybot][x1] = '+';
+  }
+  std::string out;
+  out.reserve(static_cast<std::size_t>(H * (W + 1)));
+  for (const auto& row : canvas) {
+    out += row;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ab

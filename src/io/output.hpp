@@ -1,0 +1,103 @@
+// Output: CSV cell dumps, legacy-VTK block files, and ASCII rendering of 2D
+// decompositions (used by the decomposition gallery and examples).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/block_store.hpp"
+#include "core/forest.hpp"
+#include "util/error.hpp"
+
+namespace ab {
+
+/// Write every interior cell of every leaf as one CSV row:
+/// x0..x{D-1}, level, block, var0..varN.
+template <int D>
+void write_cells_csv(const std::string& path, const Forest<D>& forest,
+                     const BlockStore<D>& store,
+                     const std::vector<std::string>& var_names) {
+  const BlockLayout<D>& lay = store.layout();
+  AB_REQUIRE(static_cast<int>(var_names.size()) == lay.nvar,
+             "write_cells_csv: variable name count mismatch");
+  std::ofstream os(path);
+  AB_REQUIRE(os.good(), "write_cells_csv: cannot open " + path);
+  for (int d = 0; d < D; ++d) os << "x" << d << ",";
+  os << "level,block";
+  for (const auto& n : var_names) os << "," << n;
+  os << "\n";
+  for (int id : forest.leaves()) {
+    RVec<D> lo = forest.block_lo(id);
+    RVec<D> dx = forest.block_size(forest.level(id));
+    for (int d = 0; d < D; ++d) dx[d] /= lay.interior[d];
+    ConstBlockView<D> v = store.view(id);
+    for_each_cell<D>(lay.interior_box(), [&](IVec<D> p) {
+      for (int d = 0; d < D; ++d) os << lo[d] + (p[d] + 0.5) * dx[d] << ",";
+      os << forest.level(id) << "," << id;
+      for (int f = 0; f < lay.nvar; ++f) os << "," << v.at(f, p);
+      os << "\n";
+    });
+  }
+}
+
+/// Write each leaf block as a legacy-VTK STRUCTURED_POINTS file
+/// (prefix_NNNN.vtk) plus a prefix.visit master file (one filename per
+/// line), loadable by VisIt/ParaView.
+template <int D>
+void write_vtk_blocks(const std::string& prefix, const Forest<D>& forest,
+                      const BlockStore<D>& store,
+                      const std::vector<std::string>& var_names) {
+  static_assert(D == 2 || D == 3, "VTK output supports 2D/3D");
+  const BlockLayout<D>& lay = store.layout();
+  AB_REQUIRE(static_cast<int>(var_names.size()) == lay.nvar,
+             "write_vtk_blocks: variable name count mismatch");
+  std::ofstream master(prefix + ".visit");
+  AB_REQUIRE(master.good(), "write_vtk_blocks: cannot open master file");
+  master << "!NBLOCKS " << forest.num_leaves() << "\n";
+  int seq = 0;
+  for (int id : forest.leaves()) {
+    std::string name = prefix + "_" + std::to_string(seq++) + ".vtk";
+    master << name << "\n";
+    std::ofstream os(name);
+    AB_REQUIRE(os.good(), "write_vtk_blocks: cannot open " + name);
+    RVec<D> lo = forest.block_lo(id);
+    RVec<D> dx = forest.block_size(forest.level(id));
+    for (int d = 0; d < D; ++d) dx[d] /= lay.interior[d];
+    os << "# vtk DataFile Version 3.0\nadaptive block " << id
+       << "\nASCII\nDATASET STRUCTURED_POINTS\n";
+    os << "DIMENSIONS";
+    for (int d = 0; d < 3; ++d)
+      os << " " << (d < D ? lay.interior[d] + 1 : 1);
+    os << "\nORIGIN";
+    for (int d = 0; d < 3; ++d) os << " " << (d < D ? lo[d] : 0.0);
+    os << "\nSPACING";
+    for (int d = 0; d < 3; ++d) os << " " << (d < D ? dx[d] : 1.0);
+    os << "\nCELL_DATA " << lay.interior_cells() << "\n";
+    ConstBlockView<D> v = store.view(id);
+    for (int f = 0; f < lay.nvar; ++f) {
+      os << "SCALARS " << var_names[f] << " double 1\nLOOKUP_TABLE default\n";
+      for_each_cell<D>(lay.interior_box(),
+                       [&](IVec<D> p) { os << v.at(f, p) << "\n"; });
+    }
+  }
+}
+
+/// Render variable `var` of a 2D grid as a binary PGM (P5) grayscale image,
+/// sampling every position of the finest occupied level (coarser blocks
+/// paint constant patches — the piecewise structure is visible by design).
+/// Values are linearly mapped [min, max] -> [0, 255].
+void write_pgm_slice(const std::string& path, const Forest<2>& forest,
+                     const BlockStore<2>& store, int var);
+
+/// ASCII picture of a 2D block decomposition: each character cell is one
+/// finest-level block position, showing the refinement level digit of the
+/// leaf covering it.
+std::string ascii_render_levels(const Forest<2>& forest);
+
+/// ASCII picture of a 2D block decomposition with box-drawing borders per
+/// block, `cells_x` x `cells_y` interior cells drawn per block (Figure 2
+/// style).
+std::string ascii_render_blocks(const Forest<2>& forest);
+
+}  // namespace ab

@@ -1,0 +1,136 @@
+// Message-buffer realization of the ghost exchange.
+//
+// The cost model (simulate.hpp) only *prices* communication; this class
+// *performs* it the way a distributed-memory code would: each fill packs,
+// per destination processor, one message buffer per source processor
+// containing the sender-side-evaluated ghost values (restriction and
+// prolongation are computed on the owning PE — the original production
+// code's choice, minimizing wire bytes), then unpacks on the receiver.
+// Local ops are applied directly.
+//
+// The result is bit-identical to GhostExchanger::fill, and the message
+// counts/bytes match simulate_step's accounting exactly — tying the cost
+// model to real traffic (tests/parsim/buffered_exchange_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/ghost.hpp"
+#include "util/error.hpp"
+
+namespace ab {
+
+template <int D>
+class BufferedExchange {
+ public:
+  /// `owner` maps node id -> PE (see partition_blocks).
+  BufferedExchange(const GhostExchanger<D>& exchanger,
+                   std::vector<int> owner, int npes)
+      : exchanger_(&exchanger), owner_(std::move(owner)), npes_(npes) {
+    AB_REQUIRE(npes_ >= 1, "BufferedExchange: npes must be >= 1");
+    rebuild();
+  }
+
+  /// Recompute message layouts after the exchanger was rebuilt or the
+  /// partition changed.
+  void rebuild() {
+    local_phase_[0].clear();
+    local_phase_[1].clear();
+    messages_.clear();
+    std::map<std::pair<int, int>, int> index;  // (src_pe, dst_pe) -> msg
+    const auto& ops = exchanger_->ops();
+    for (int i = 0; i < static_cast<int>(ops.size()); ++i) {
+      const auto& op = ops[i];
+      const int phase = (op.kind == GhostOpKind::Prolong) ? 1 : 0;
+      const int ps = owner_at(op.src);
+      const int pd = owner_at(op.dst);
+      if (ps == pd) {
+        local_phase_[phase].push_back(i);
+        continue;
+      }
+      auto key = std::make_pair(ps, pd);
+      auto it = index.find(key);
+      if (it == index.end()) {
+        it = index.emplace(key, static_cast<int>(messages_.size())).first;
+        Message msg;
+        msg.src_pe = ps;
+        msg.dst_pe = pd;
+        messages_.push_back(std::move(msg));
+      }
+      Message& msg = messages_[static_cast<std::size_t>(it->second)];
+      msg.phase_ops[phase].push_back(i);
+      msg.doubles += exchanger_->op_payload_doubles(op);
+    }
+    for (auto& msg : messages_)
+      msg.buffer.assign(static_cast<std::size_t>(msg.doubles), 0.0);
+  }
+
+  /// Perform the exchange through the message buffers. Bit-identical to
+  /// exchanger.fill(store).
+  void fill(BlockStore<D>& store) {
+    for (int phase = 0; phase < 2; ++phase) {
+      // Local ops.
+      for (int i : local_phase_[phase])
+        exchanger_->apply(store, exchanger_->ops()[i]);
+      // Pack every cross-PE message for this phase...
+      for (auto& msg : messages_) {
+        double* cursor = msg.buffer.data();
+        for (int i : msg.phase_ops[phase]) {
+          const auto& op = exchanger_->ops()[i];
+          exchanger_->pack_op(store, op, cursor);
+          cursor += exchanger_->op_payload_doubles(op);
+        }
+      }
+      // ...then deliver (unpack). The strict pack-all/unpack-all order is
+      // what a bulk-synchronous exchange round does.
+      for (auto& msg : messages_) {
+        const double* cursor = msg.buffer.data();
+        for (int i : msg.phase_ops[phase]) {
+          const auto& op = exchanger_->ops()[i];
+          exchanger_->unpack_op(store, op, cursor);
+          cursor += exchanger_->op_payload_doubles(op);
+        }
+      }
+    }
+  }
+
+  /// Messages per fill under pair aggregation (both phases of a pair ride
+  /// in that pair's buffer; a pair with traffic counts once).
+  std::int64_t messages_per_fill() const {
+    return static_cast<std::int64_t>(messages_.size());
+  }
+  /// Total wire bytes per fill.
+  std::int64_t bytes_per_fill() const {
+    std::int64_t n = 0;
+    for (const auto& msg : messages_)
+      n += msg.doubles * static_cast<std::int64_t>(sizeof(double));
+    return n;
+  }
+
+ private:
+  struct Message {
+    int src_pe = -1;
+    int dst_pe = -1;
+    std::vector<int> phase_ops[2];
+    std::vector<double> buffer;
+    std::int64_t doubles = 0;
+  };
+
+  int owner_at(int id) const {
+    AB_REQUIRE(id >= 0 && id < static_cast<int>(owner_.size()) &&
+                   owner_[id] >= 0 && owner_[id] < npes_,
+               "BufferedExchange: block without a valid owner");
+    return owner_[id];
+  }
+
+  const GhostExchanger<D>* exchanger_;
+  std::vector<int> owner_;
+  int npes_;
+  std::vector<int> local_phase_[2];
+  std::vector<Message> messages_;
+};
+
+}  // namespace ab

@@ -1,0 +1,41 @@
+// Cost model of a distributed-memory machine (Cray T3D class).
+//
+// Substitution note (DESIGN.md #2.1): we do not have a 512-processor T3D, so
+// the parallel experiments execute the *actual* block decomposition and
+// ghost-exchange plan under this cost model. The block-to-processor map and
+// the message pattern are exact; only the per-unit costs (flop rate, message
+// latency, link bandwidth) are modeled, with defaults calibrated to
+// published T3D characteristics (150 MFLOPS peak / ~30-40 MFLOPS sustained
+// per PE on real CFD kernels; ~100 MB/s links; tens-of-microsecond message
+// latencies via PVM/shmem).
+#pragma once
+
+namespace ab {
+
+struct MachineModel {
+  /// Sustained floating-point rate per processing element (flops/s).
+  double flops_per_sec = 36e6;
+  /// Fixed cost per inter-PE message (s).
+  double latency_sec = 25e-6;
+  /// Inter-PE link bandwidth (bytes/s).
+  double bytes_per_sec = 100e6;
+  /// On-PE ghost copies (memcpy-class bandwidth, bytes/s).
+  double local_bytes_per_sec = 320e6;
+
+  /// A T3D-like default (matches the paper's 512-PE platform).
+  static MachineModel cray_t3d() { return MachineModel{}; }
+
+  /// A modern-cluster-like model (higher flop rate, relatively slower
+  /// network per flop) for sensitivity studies.
+  static MachineModel modern_cluster() {
+    return MachineModel{5e9, 2e-6, 10e9, 8e9};
+  }
+};
+
+/// How inter-PE ghost messages are counted.
+enum class MessageAggregation {
+  PerFaceOp,  ///< one message per block-face copy operation
+  PerPePair   ///< all traffic between a PE pair coalesced into one message
+};
+
+}  // namespace ab

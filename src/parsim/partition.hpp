@@ -1,0 +1,47 @@
+// Block-to-processor partitioners with load re-balancing support.
+//
+// The paper: "Whenever refinement or coarsening occurs, load re-balancing
+// should be performed to insure high performance." These policies map the
+// forest's leaves onto P processors; the space-filling-curve variants keep
+// spatially-near blocks on the same PE (low ghost traffic), greedy-LPT
+// optimizes only the load, round-robin is the naive baseline.
+#pragma once
+
+#include <vector>
+
+#include "core/forest.hpp"
+
+namespace ab {
+
+enum class PartitionPolicy {
+  Morton,     ///< contiguous chunks of the Morton-ordered leaf list
+  Hilbert,    ///< contiguous chunks of the Hilbert-ordered leaf list
+  RoundRobin, ///< leaf i -> PE i mod P (ignores locality)
+  GreedyLpt   ///< longest-processing-time greedy (load only, no locality)
+};
+
+/// Assign every leaf of `forest` to one of `npes` processors. Returns a
+/// vector indexed by node id (entries for non-leaf ids are -1). `weights`
+/// gives per-leaf cost; empty means uniform (the common case — all blocks
+/// have the same cell count).
+template <int D>
+std::vector<int> partition_blocks(const Forest<D>& forest, int npes,
+                                  PartitionPolicy policy,
+                                  const std::vector<double>& weights = {});
+
+/// Load-imbalance ratio: (max PE load) / (mean PE load); 1.0 is perfect.
+/// `weights`, if given, must be indexed by node id (same as `owner`).
+double load_imbalance(const std::vector<int>& owner, int npes,
+                      const std::vector<double>& weights = {});
+
+extern template std::vector<int> partition_blocks<1>(const Forest<1>&, int,
+                                                     PartitionPolicy,
+                                                     const std::vector<double>&);
+extern template std::vector<int> partition_blocks<2>(const Forest<2>&, int,
+                                                     PartitionPolicy,
+                                                     const std::vector<double>&);
+extern template std::vector<int> partition_blocks<3>(const Forest<3>&, int,
+                                                     PartitionPolicy,
+                                                     const std::vector<double>&);
+
+}  // namespace ab

@@ -1,0 +1,58 @@
+// Bulk-synchronous timestep simulation on the machine model.
+//
+// One simulated timestep = every PE updates its blocks (compute), exchanges
+// ghost cells with neighbor blocks (local copies on-PE, messages across
+// PEs), and all PEs synchronize. The ghost traffic is taken verbatim from
+// the GhostExchanger plan — the same op list the real numerics execute — so
+// the simulated communication is exactly what the data structure requires.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/ghost.hpp"
+#include "parsim/machine.hpp"
+
+namespace ab {
+
+/// Outcome of one simulated bulk-synchronous step.
+struct StepCost {
+  double t_step = 0.0;         ///< max over PEs of (compute + comm) [s]
+  double t_serial = 0.0;       ///< one PE doing everything (incl. local copies)
+  double max_compute = 0.0;    ///< slowest PE's compute time [s]
+  double max_comm = 0.0;       ///< slowest PE's communication time [s]
+  double speedup = 0.0;        ///< t_serial / t_step
+  double efficiency = 0.0;     ///< speedup / npes
+  double gflops = 0.0;         ///< total_flops / t_step / 1e9
+  std::uint64_t total_flops = 0;
+  std::int64_t remote_bytes = 0;
+  std::int64_t local_bytes = 0;
+  std::int64_t messages = 0;
+};
+
+/// Simulate one timestep. `owner` maps node id -> PE (from
+/// partition_blocks). `flops_of` gives the per-block update cost in flops
+/// (e.g. rk_stages * fv_update_flops(...)).
+template <int D>
+StepCost simulate_step(const GhostExchanger<D>& exchanger,
+                       const std::vector<int>& owner, int npes,
+                       const MachineModel& machine,
+                       const std::function<std::uint64_t(int)>& flops_of,
+                       MessageAggregation aggregation =
+                           MessageAggregation::PerPePair);
+
+extern template StepCost simulate_step<1>(
+    const GhostExchanger<1>&, const std::vector<int>&, int,
+    const MachineModel&, const std::function<std::uint64_t(int)>&,
+    MessageAggregation);
+extern template StepCost simulate_step<2>(
+    const GhostExchanger<2>&, const std::vector<int>&, int,
+    const MachineModel&, const std::function<std::uint64_t(int)>&,
+    MessageAggregation);
+extern template StepCost simulate_step<3>(
+    const GhostExchanger<3>&, const std::vector<int>&, int,
+    const MachineModel&, const std::function<std::uint64_t(int)>&,
+    MessageAggregation);
+
+}  // namespace ab

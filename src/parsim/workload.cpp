@@ -1,0 +1,64 @@
+#include "parsim/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ab {
+
+template <int D>
+int refine_until(
+    Forest<D>& forest,
+    const std::function<bool(const RVec<D>& lo, const RVec<D>& hi)>&
+        wants_refinement,
+    int target_leaves) {
+  while (forest.num_leaves() < target_leaves) {
+    // Candidates: refinable leaves the predicate selects, coarsest first
+    // (leaves() is Morton-ordered, giving a deterministic tie-break).
+    std::vector<int> candidates;
+    for (int id : forest.leaves()) {
+      if (forest.level(id) >= forest.config().max_level) continue;
+      if (wants_refinement(forest.block_lo(id), forest.block_hi(id)))
+        candidates.push_back(id);
+    }
+    if (candidates.empty()) break;
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [&](int a, int b) {
+                       return forest.level(a) < forest.level(b);
+                     });
+    bool progressed = false;
+    for (int id : candidates) {
+      if (forest.num_leaves() >= target_leaves) break;
+      if (!forest.is_live(id) || !forest.is_leaf(id)) continue;
+      forest.refine(id);
+      progressed = true;
+    }
+    if (!progressed) break;
+  }
+  return forest.num_leaves();
+}
+
+template <int D>
+int build_solar_wind_forest(Forest<D>& forest, const RVec<D>& center,
+                            double inner_radius, double shell_radius,
+                            double shell_width, int target_leaves) {
+  auto wants = [&](const RVec<D>& lo, const RVec<D>& hi) {
+    auto [dmin, dmax] = box_distance_range<D>(lo, hi, center);
+    if (dmin <= inner_radius) return true;  // near the sun
+    return dmin <= shell_radius + shell_width &&
+           dmax >= shell_radius - shell_width;  // the shell
+  };
+  return refine_until<D>(forest, wants, target_leaves);
+}
+
+template int refine_until<2>(
+    Forest<2>&, const std::function<bool(const RVec<2>&, const RVec<2>&)>&,
+    int);
+template int refine_until<3>(
+    Forest<3>&, const std::function<bool(const RVec<3>&, const RVec<3>&)>&,
+    int);
+template int build_solar_wind_forest<2>(Forest<2>&, const RVec<2>&, double,
+                                        double, double, int);
+template int build_solar_wind_forest<3>(Forest<3>&, const RVec<3>&, double,
+                                        double, double, int);
+
+}  // namespace ab

@@ -1,0 +1,61 @@
+// Workload generation: adaptive forests shaped like the paper's solar-wind
+// runs (refinement concentrated near the inner "sun" boundary and along a
+// spherical shock/current-sheet shell), sized to a target block count so
+// weak-scaling sweeps can hold blocks-per-PE constant.
+#pragma once
+
+#include <functional>
+
+#include "core/forest.hpp"
+
+namespace ab {
+
+/// Distance range from `center` to the axis-aligned box [lo, hi]:
+/// returns {dmin, dmax}.
+template <int D>
+std::pair<double, double> box_distance_range(const RVec<D>& lo,
+                                             const RVec<D>& hi,
+                                             const RVec<D>& center) {
+  double dmin2 = 0.0, dmax2 = 0.0;
+  for (int d = 0; d < D; ++d) {
+    const double a = lo[d] - center[d];
+    const double b = hi[d] - center[d];
+    const double lo_d = (a > 0) ? a : ((b < 0) ? -b : 0.0);
+    const double hi_d = std::max(std::fabs(a), std::fabs(b));
+    dmin2 += lo_d * lo_d;
+    dmax2 += hi_d * hi_d;
+  }
+  return {std::sqrt(dmin2), std::sqrt(dmax2)};
+}
+
+/// Repeatedly refine the coarsest leaves satisfying `wants_refinement`
+/// (deterministic Morton order within a level) until the forest has at
+/// least `target_leaves` leaves or no refinable candidate remains. Returns
+/// the final leaf count. Cascade refinements count toward the target.
+template <int D>
+int refine_until(
+    Forest<D>& forest,
+    const std::function<bool(const RVec<D>& lo, const RVec<D>& hi)>&
+        wants_refinement,
+    int target_leaves);
+
+/// Solar-wind-style refinement: refine blocks intersecting the spherical
+/// shell |r - shell_radius| <= shell_width or within inner_radius of the
+/// center, until `target_leaves` is reached.
+template <int D>
+int build_solar_wind_forest(Forest<D>& forest, const RVec<D>& center,
+                            double inner_radius, double shell_radius,
+                            double shell_width, int target_leaves);
+
+extern template int refine_until<2>(
+    Forest<2>&, const std::function<bool(const RVec<2>&, const RVec<2>&)>&,
+    int);
+extern template int refine_until<3>(
+    Forest<3>&, const std::function<bool(const RVec<3>&, const RVec<3>&)>&,
+    int);
+extern template int build_solar_wind_forest<2>(Forest<2>&, const RVec<2>&,
+                                               double, double, double, int);
+extern template int build_solar_wind_forest<3>(Forest<3>&, const RVec<3>&,
+                                               double, double, double, int);
+
+}  // namespace ab

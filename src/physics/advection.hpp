@@ -1,0 +1,44 @@
+// Linear advection: the simplest hyperbolic system, used by the quickstart
+// example and as the convergence-order reference in tests.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "util/vec.hpp"
+
+namespace ab {
+
+/// Scalar linear advection u_t + div(v u) = 0 with constant velocity v.
+template <int D>
+struct LinearAdvection {
+  static constexpr int NVAR = 1;
+  static constexpr bool kHasSource = false;
+  using State = std::array<double, NVAR>;
+
+  RVec<D> velocity{};
+
+  void flux(const State& u, int dir, State& f) const {
+    f[0] = velocity[dir] * u[0];
+  }
+
+  /// Smallest and largest signal speeds along `dir`.
+  void signal_speeds(const State&, int dir, double& lmin,
+                     double& lmax) const {
+    lmin = lmax = velocity[dir];
+  }
+
+  double max_speed(const State& u, int dir) const {
+    double lmin, lmax;
+    signal_speeds(u, dir, lmin, lmax);
+    double a = std::fabs(lmin), b = std::fabs(lmax);
+    return a > b ? a : b;
+  }
+
+  // Arithmetic-operation estimates for the machine model.
+  static constexpr std::uint64_t kFluxFlops = 1;
+  static constexpr std::uint64_t kSpeedFlops = 1;
+};
+
+}  // namespace ab

@@ -1,0 +1,45 @@
+// Slope limiters for MUSCL reconstruction (van Leer ref [6] lineage).
+#pragma once
+
+#include <cmath>
+
+namespace ab {
+
+enum class LimiterKind {
+  MinMod,   ///< most dissipative TVD limiter
+  VanLeer,  ///< harmonic-mean limiter of van Leer
+  MC,       ///< monotonized central
+  None      ///< unlimited central slope (not TVD; for smooth problems)
+};
+
+/// Limited slope from the backward difference `dm` (u_i - u_{i-1}) and the
+/// forward difference `dp` (u_{i+1} - u_i).
+inline double limited_slope(LimiterKind k, double dm, double dp) {
+  switch (k) {
+    case LimiterKind::MinMod: {
+      if (dm * dp <= 0.0) return 0.0;
+      double am = std::fabs(dm), ap = std::fabs(dp);
+      double m = am < ap ? am : ap;
+      return dm > 0 ? m : -m;
+    }
+    case LimiterKind::VanLeer: {
+      double denom = dm + dp;
+      if (dm * dp <= 0.0 || denom == 0.0) return 0.0;
+      return 2.0 * dm * dp / denom;
+    }
+    case LimiterKind::MC: {
+      if (dm * dp <= 0.0) return 0.0;
+      double c = 0.5 * (dm + dp);
+      double am = 2.0 * std::fabs(dm), ap = 2.0 * std::fabs(dp);
+      double lim = am < ap ? am : ap;
+      double ac = std::fabs(c);
+      double m = ac < lim ? ac : lim;
+      return c > 0 ? m : -m;
+    }
+    case LimiterKind::None:
+      return 0.5 * (dm + dp);
+  }
+  return 0.0;
+}
+
+}  // namespace ab

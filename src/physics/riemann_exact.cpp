@@ -1,0 +1,131 @@
+#include "physics/riemann_exact.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ab {
+
+namespace {
+double sound_speed(const RiemannState& s, double gamma) {
+  return std::sqrt(gamma * s.p / s.rho);
+}
+}  // namespace
+
+double ExactRiemann::f_k(double p, const RiemannState& s,
+                         double& deriv) const {
+  const double g = gamma_;
+  const double a = sound_speed(s, g);
+  if (p > s.p) {
+    // Shock branch.
+    const double A = 2.0 / ((g + 1.0) * s.rho);
+    const double B = (g - 1.0) / (g + 1.0) * s.p;
+    const double q = std::sqrt(A / (p + B));
+    deriv = q * (1.0 - 0.5 * (p - s.p) / (p + B));
+    return (p - s.p) * q;
+  }
+  // Rarefaction branch.
+  const double pr = p / s.p;
+  const double ex = (g - 1.0) / (2.0 * g);
+  deriv = std::pow(pr, -(g + 1.0) / (2.0 * g)) / (s.rho * a);
+  return 2.0 * a / (g - 1.0) * (std::pow(pr, ex) - 1.0);
+}
+
+ExactRiemann::ExactRiemann(const RiemannState& left, const RiemannState& right,
+                           double gamma)
+    : left_(left), right_(right), gamma_(gamma) {
+  AB_REQUIRE(left.rho > 0 && right.rho > 0 && left.p > 0 && right.p > 0,
+             "ExactRiemann: non-positive input state");
+  const double aL = sound_speed(left_, gamma_);
+  const double aR = sound_speed(right_, gamma_);
+  const double du = right_.u - left_.u;
+  AB_REQUIRE(2.0 * (aL + aR) / (gamma_ - 1.0) > du,
+             "ExactRiemann: initial data produce vacuum");
+
+  // Newton iteration for p*, started from the PVRS (primitive-variable
+  // Riemann solver) guess, clamped positive.
+  double p = 0.5 * (left_.p + right_.p) -
+             0.125 * du * (left_.rho + right_.rho) * (aL + aR);
+  p = std::max(p, 1e-10 * std::min(left_.p, right_.p));
+  for (int it = 0; it < 100; ++it) {
+    double dL, dR;
+    const double fL = f_k(p, left_, dL);
+    const double fR = f_k(p, right_, dR);
+    const double f = fL + fR + du;
+    const double step = f / (dL + dR);
+    double pn = p - step;
+    if (pn <= 0.0) pn = 0.5 * p;
+    if (std::fabs(pn - p) < 1e-14 * (pn + p)) {
+      p = pn;
+      break;
+    }
+    p = pn;
+  }
+  p_star_ = p;
+  double dL, dR;
+  const double fL = f_k(p, left_, dL);
+  const double fR = f_k(p, right_, dR);
+  u_star_ = 0.5 * (left_.u + right_.u) + 0.5 * (fR - fL);
+}
+
+RiemannState ExactRiemann::sample(double xi) const {
+  const double g = gamma_;
+  const double gm1 = g - 1.0, gp1 = g + 1.0;
+
+  if (xi <= u_star_) {
+    // Left of the contact.
+    const RiemannState& s = left_;
+    const double a = sound_speed(s, g);
+    if (p_star_ > s.p) {
+      // Left shock.
+      const double ps = p_star_ / s.p;
+      const double sL = s.u - a * std::sqrt(gp1 / (2 * g) * ps + gm1 / (2 * g));
+      if (xi <= sL) return s;
+      const double rho =
+          s.rho * (ps + gm1 / gp1) / (gm1 / gp1 * ps + 1.0);
+      return {rho, u_star_, p_star_};
+    }
+    // Left rarefaction.
+    const double a_star = a * std::pow(p_star_ / s.p, gm1 / (2 * g));
+    const double head = s.u - a;
+    const double tail = u_star_ - a_star;
+    if (xi <= head) return s;
+    if (xi >= tail) {
+      const double rho = s.rho * std::pow(p_star_ / s.p, 1.0 / g);
+      return {rho, u_star_, p_star_};
+    }
+    // Inside the fan.
+    const double u = 2.0 / gp1 * (a + gm1 / 2.0 * s.u + xi);
+    const double af = 2.0 / gp1 * (a + gm1 / 2.0 * (s.u - xi));
+    const double rho = s.rho * std::pow(af / a, 2.0 / gm1);
+    const double p = s.p * std::pow(af / a, 2.0 * g / gm1);
+    return {rho, u, p};
+  }
+
+  // Right of the contact (mirror).
+  const RiemannState& s = right_;
+  const double a = sound_speed(s, g);
+  if (p_star_ > s.p) {
+    const double ps = p_star_ / s.p;
+    const double sR = s.u + a * std::sqrt(gp1 / (2 * g) * ps + gm1 / (2 * g));
+    if (xi >= sR) return s;
+    const double rho = s.rho * (ps + gm1 / gp1) / (gm1 / gp1 * ps + 1.0);
+    return {rho, u_star_, p_star_};
+  }
+  const double a_star = a * std::pow(p_star_ / s.p, gm1 / (2 * g));
+  const double head = s.u + a;
+  const double tail = u_star_ + a_star;
+  if (xi >= head) return s;
+  if (xi <= tail) {
+    const double rho = s.rho * std::pow(p_star_ / s.p, 1.0 / g);
+    return {rho, u_star_, p_star_};
+  }
+  const double u = 2.0 / gp1 * (-a + gm1 / 2.0 * s.u + xi);
+  const double af = 2.0 / gp1 * (a - gm1 / 2.0 * (s.u - xi));
+  const double rho = s.rho * std::pow(af / a, 2.0 / gm1);
+  const double p = s.p * std::pow(af / a, 2.0 * g / gm1);
+  return {rho, u, p};
+}
+
+}  // namespace ab

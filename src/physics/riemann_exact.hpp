@@ -1,0 +1,39 @@
+// Exact Riemann solver for the 1D Euler equations (Toro, ch. 4).
+//
+// Used as ground truth in the Sod shock-tube tests and example: the AMR
+// solution is compared against the exact similarity solution.
+#pragma once
+
+namespace ab {
+
+/// Primitive left/right states of a 1D Riemann problem.
+struct RiemannState {
+  double rho;
+  double u;  ///< normal velocity
+  double p;
+};
+
+/// Exact solution of the Euler Riemann problem.
+class ExactRiemann {
+ public:
+  /// Solves for the star-region pressure/velocity via Newton iteration.
+  /// Throws ab::Error if the data produce vacuum.
+  ExactRiemann(const RiemannState& left, const RiemannState& right,
+               double gamma = 1.4);
+
+  double p_star() const { return p_star_; }
+  double u_star() const { return u_star_; }
+
+  /// Sample the similarity solution at xi = x / t.
+  RiemannState sample(double xi) const;
+
+ private:
+  double f_k(double p, const RiemannState& s, double& deriv) const;
+
+  RiemannState left_, right_;
+  double gamma_;
+  double p_star_ = 0.0;
+  double u_star_ = 0.0;
+};
+
+}  // namespace ab

@@ -1,0 +1,147 @@
+// Axis-aligned integer boxes (half-open: [lo, hi)) over the cell lattice.
+//
+// Boxes describe block interiors, ghost slabs, and copy regions in the
+// ghost-exchange engine.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/vec.hpp"
+
+namespace ab {
+
+/// Half-open integer box [lo, hi) in D dimensions.
+template <int D>
+struct Box {
+  IVec<D> lo{};
+  IVec<D> hi{};
+
+  constexpr Box() = default;
+  constexpr Box(IVec<D> lo_, IVec<D> hi_) : lo(lo_), hi(hi_) {}
+
+  /// Box covering [0, extent) in each dimension.
+  static constexpr Box from_extent(IVec<D> extent) {
+    return Box(IVec<D>{}, extent);
+  }
+
+  constexpr IVec<D> extent() const { return hi - lo; }
+  constexpr std::int64_t volume() const {
+    std::int64_t p = 1;
+    for (int d = 0; d < D; ++d) {
+      int e = hi[d] - lo[d];
+      if (e <= 0) return 0;
+      p *= e;
+    }
+    return p;
+  }
+  constexpr bool empty() const { return volume() == 0; }
+
+  constexpr bool contains(IVec<D> p) const {
+    for (int d = 0; d < D; ++d)
+      if (p[d] < lo[d] || p[d] >= hi[d]) return false;
+    return true;
+  }
+  constexpr bool contains(const Box& b) const {
+    if (b.empty()) return true;
+    for (int d = 0; d < D; ++d)
+      if (b.lo[d] < lo[d] || b.hi[d] > hi[d]) return false;
+    return true;
+  }
+
+  friend constexpr Box intersect(const Box& a, const Box& b) {
+    Box r;
+    for (int d = 0; d < D; ++d) {
+      r.lo[d] = a.lo[d] > b.lo[d] ? a.lo[d] : b.lo[d];
+      r.hi[d] = a.hi[d] < b.hi[d] ? a.hi[d] : b.hi[d];
+      if (r.hi[d] < r.lo[d]) r.hi[d] = r.lo[d];
+    }
+    return r;
+  }
+
+  friend constexpr bool operator==(const Box& a, const Box& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+
+  /// Translate by `t`.
+  constexpr Box shifted(IVec<D> t) const { return Box(lo + t, hi + t); }
+
+  /// Grow by `g` cells on every side (negative shrinks).
+  constexpr Box grown(int g) const {
+    return Box(lo - IVec<D>(g), hi + IVec<D>(g));
+  }
+  /// Grow by `g` cells on both sides of dimension `dim` only.
+  constexpr Box grown(int dim, int g) const {
+    Box r = *this;
+    r.lo[dim] -= g;
+    r.hi[dim] += g;
+    return r;
+  }
+
+  /// The slab of `width` cells just outside face (dim, side): side 0 is the
+  /// low face, side 1 the high face. This is the ghost region a neighbor
+  /// fills.
+  constexpr Box face_ghost_slab(int dim, int side, int width) const {
+    Box r = *this;
+    if (side == 0) {
+      r.hi[dim] = lo[dim];
+      r.lo[dim] = lo[dim] - width;
+    } else {
+      r.lo[dim] = hi[dim];
+      r.hi[dim] = hi[dim] + width;
+    }
+    return r;
+  }
+
+  /// The slab of `width` cells just inside face (dim, side). This is the
+  /// region a neighbor reads to fill its ghosts.
+  constexpr Box face_interior_slab(int dim, int side, int width) const {
+    Box r = *this;
+    if (side == 0)
+      r.hi[dim] = lo[dim] + width;
+    else
+      r.lo[dim] = hi[dim] - width;
+    return r;
+  }
+
+  /// Map the box to the next coarser level (floor division by 2). The result
+  /// covers every coarse cell touched by this box.
+  constexpr Box coarsened() const {
+    Box r;
+    for (int d = 0; d < D; ++d) {
+      r.lo[d] = lo[d] >> 1;
+      r.hi[d] = (hi[d] + 1) >> 1;
+    }
+    return r;
+  }
+  /// Map the box to the next finer level (each cell becomes 2^D cells).
+  constexpr Box refined() const {
+    return Box(lo.shifted_left(1), hi.shifted_left(1));
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Box& b) {
+    return os << "[" << b.lo << ".." << b.hi << ")";
+  }
+};
+
+/// Iterate all points of `box` in lexicographic order with the first
+/// dimension fastest (matching the memory layout of block arrays), invoking
+/// `f(IVec<D>)` for each.
+template <int D, class F>
+void for_each_cell(const Box<D>& box, F&& f) {
+  if (box.empty()) return;
+  IVec<D> p = box.lo;
+  while (true) {
+    f(p);
+    int d = 0;
+    while (d < D) {
+      if (++p[d] < box.hi[d]) break;
+      p[d] = box.lo[d];
+      ++d;
+    }
+    if (d == D) return;
+  }
+}
+
+}  // namespace ab

@@ -1,0 +1,40 @@
+// Error handling primitives for the adaptive-blocks library.
+//
+// AB_REQUIRE is an always-on precondition check (library API boundaries);
+// AB_ASSERT compiles out in release builds (internal invariants on hot paths).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ab {
+
+/// Exception thrown on violated preconditions in library entry points.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* cond, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": requirement failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace ab
+
+#define AB_REQUIRE(cond, msg)                                       \
+  do {                                                              \
+    if (!(cond)) ::ab::detail::fail(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define AB_ASSERT(cond) ((void)0)
+#else
+#define AB_ASSERT(cond) AB_REQUIRE(cond, "internal invariant")
+#endif

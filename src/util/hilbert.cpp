@@ -1,0 +1,117 @@
+#include "util/hilbert.hpp"
+
+#include "util/error.hpp"
+
+namespace ab {
+namespace {
+
+// Skilling, "Programming the Hilbert curve", AIP Conf. Proc. 707 (2004).
+// Works in place on the "transposed" representation: X[d] holds every D-th
+// bit of the Hilbert index.
+
+template <int D>
+void axes_to_transpose(std::uint32_t (&X)[D], int bits) {
+  std::uint32_t M = 1u << (bits - 1);
+  // Inverse undo of the Gray-code / rotation steps.
+  for (std::uint32_t Q = M; Q > 1; Q >>= 1) {
+    std::uint32_t P = Q - 1;
+    for (int i = 0; i < D; ++i) {
+      if (X[i] & Q) {
+        X[0] ^= P;  // invert
+      } else {  // exchange
+        std::uint32_t t = (X[0] ^ X[i]) & P;
+        X[0] ^= t;
+        X[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < D; ++i) X[i] ^= X[i - 1];
+  std::uint32_t t = 0;
+  for (std::uint32_t Q = M; Q > 1; Q >>= 1)
+    if (X[D - 1] & Q) t ^= Q - 1;
+  for (int i = 0; i < D; ++i) X[i] ^= t;
+}
+
+template <int D>
+void transpose_to_axes(std::uint32_t (&X)[D], int bits) {
+  std::uint32_t N = 2u << (bits - 1);
+  // Gray decode by H ^ (H/2).
+  std::uint32_t t = X[D - 1] >> 1;
+  for (int i = D - 1; i > 0; --i) X[i] ^= X[i - 1];
+  X[0] ^= t;
+  // Undo excess work.
+  for (std::uint32_t Q = 2; Q != N; Q <<= 1) {
+    std::uint32_t P = Q - 1;
+    for (int i = D - 1; i >= 0; --i) {
+      if (X[i] & Q) {
+        X[0] ^= P;
+      } else {
+        std::uint32_t tt = (X[0] ^ X[i]) & P;
+        X[0] ^= tt;
+        X[i] ^= tt;
+      }
+    }
+  }
+}
+
+// Pack the transposed representation into a single 64-bit index: bit
+// (bits-1-b)*D + (D-1-d) of the result is bit b of X[d], most significant
+// first.
+template <int D>
+std::uint64_t pack_transpose(const std::uint32_t (&X)[D], int bits) {
+  std::uint64_t h = 0;
+  for (int b = bits - 1; b >= 0; --b)
+    for (int d = 0; d < D; ++d)
+      h = (h << 1) | ((X[d] >> b) & 1u);
+  return h;
+}
+
+template <int D>
+void unpack_transpose(std::uint64_t h, std::uint32_t (&X)[D], int bits) {
+  for (int d = 0; d < D; ++d) X[d] = 0;
+  for (int b = bits - 1; b >= 0; --b)
+    for (int d = 0; d < D; ++d) {
+      X[d] = (X[d] << 1) | ((h >> ((std::uint64_t)b * D + (D - 1 - d))) & 1u);
+    }
+}
+
+}  // namespace
+
+template <int D>
+std::uint64_t hilbert_index(IVec<D> p, int bits) {
+  AB_REQUIRE(bits >= 1 && bits * D <= 63, "hilbert_index: bits out of range");
+  if constexpr (D == 1) return static_cast<std::uint32_t>(p[0]);
+  std::uint32_t X[D];
+  for (int d = 0; d < D; ++d) {
+    AB_REQUIRE(p[d] >= 0 && p[d] < (1 << bits),
+               "hilbert_index: coordinate out of range");
+    X[d] = static_cast<std::uint32_t>(p[d]);
+  }
+  axes_to_transpose<D>(X, bits);
+  return pack_transpose<D>(X, bits);
+}
+
+template <int D>
+IVec<D> hilbert_point(std::uint64_t index, int bits) {
+  AB_REQUIRE(bits >= 1 && bits * D <= 63, "hilbert_point: bits out of range");
+  IVec<D> p;
+  if constexpr (D == 1) {
+    p[0] = static_cast<int>(index);
+    return p;
+  }
+  std::uint32_t X[D];
+  unpack_transpose<D>(index, X, bits);
+  transpose_to_axes<D>(X, bits);
+  for (int d = 0; d < D; ++d) p[d] = static_cast<int>(X[d]);
+  return p;
+}
+
+template std::uint64_t hilbert_index<1>(IVec<1>, int);
+template std::uint64_t hilbert_index<2>(IVec<2>, int);
+template std::uint64_t hilbert_index<3>(IVec<3>, int);
+template IVec<1> hilbert_point<1>(std::uint64_t, int);
+template IVec<2> hilbert_point<2>(std::uint64_t, int);
+template IVec<3> hilbert_point<3>(std::uint64_t, int);
+
+}  // namespace ab

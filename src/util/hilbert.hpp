@@ -1,0 +1,33 @@
+// Hilbert space-filling-curve index (Skilling's transposition algorithm).
+//
+// The Hilbert partitioner orders blocks along a Hilbert curve, which has
+// strictly better locality than Morton order (no long diagonal jumps); the
+// abl_partitioners bench quantifies the difference in ghost-exchange traffic.
+#pragma once
+
+#include <cstdint>
+
+#include "util/vec.hpp"
+
+namespace ab {
+
+/// Hilbert index of point `p` on a 2^bits x ... x 2^bits grid in D
+/// dimensions. The result orders the 2^(D*bits) lattice points along a
+/// Hilbert curve. Coordinates must satisfy 0 <= p[d] < 2^bits and
+/// D*bits <= 63.
+template <int D>
+std::uint64_t hilbert_index(IVec<D> p, int bits);
+
+extern template std::uint64_t hilbert_index<1>(IVec<1>, int);
+extern template std::uint64_t hilbert_index<2>(IVec<2>, int);
+extern template std::uint64_t hilbert_index<3>(IVec<3>, int);
+
+/// Inverse: point with the given Hilbert index.
+template <int D>
+IVec<D> hilbert_point(std::uint64_t index, int bits);
+
+extern template IVec<1> hilbert_point<1>(std::uint64_t, int);
+extern template IVec<2> hilbert_point<2>(std::uint64_t, int);
+extern template IVec<3> hilbert_point<3>(std::uint64_t, int);
+
+}  // namespace ab

@@ -1,0 +1,79 @@
+// Morton (Z-order) space-filling-curve keys.
+//
+// Used for (a) the hash key of (level, coords) block lookup and (b) the
+// Morton partitioner that assigns blocks to processors in space-filling-curve
+// order for locality-preserving load balance.
+#pragma once
+
+#include <cstdint>
+
+#include "util/vec.hpp"
+
+namespace ab {
+
+/// Interleave the low 21 bits of x into every 3rd bit of the result.
+std::uint64_t morton_spread3(std::uint32_t x);
+/// Inverse of morton_spread3.
+std::uint32_t morton_compact3(std::uint64_t x);
+/// Interleave the low 32 bits of x into every 2nd bit of the result.
+std::uint64_t morton_spread2(std::uint32_t x);
+/// Inverse of morton_spread2.
+std::uint32_t morton_compact2(std::uint64_t x);
+
+/// Morton code of a D-dimensional non-negative coordinate.
+template <int D>
+std::uint64_t morton_encode(IVec<D> p);
+
+template <>
+inline std::uint64_t morton_encode<1>(IVec<1> p) {
+  return static_cast<std::uint64_t>(static_cast<std::uint32_t>(p[0]));
+}
+template <>
+inline std::uint64_t morton_encode<2>(IVec<2> p) {
+  return morton_spread2(static_cast<std::uint32_t>(p[0])) |
+         (morton_spread2(static_cast<std::uint32_t>(p[1])) << 1);
+}
+template <>
+inline std::uint64_t morton_encode<3>(IVec<3> p) {
+  return morton_spread3(static_cast<std::uint32_t>(p[0])) |
+         (morton_spread3(static_cast<std::uint32_t>(p[1])) << 1) |
+         (morton_spread3(static_cast<std::uint32_t>(p[2])) << 2);
+}
+
+/// Inverse of morton_encode.
+template <int D>
+IVec<D> morton_decode(std::uint64_t key);
+
+template <>
+inline IVec<1> morton_decode<1>(std::uint64_t key) {
+  IVec<1> p;
+  p[0] = static_cast<int>(key);
+  return p;
+}
+template <>
+inline IVec<2> morton_decode<2>(std::uint64_t key) {
+  IVec<2> p;
+  p[0] = static_cast<int>(morton_compact2(key));
+  p[1] = static_cast<int>(morton_compact2(key >> 1));
+  return p;
+}
+template <>
+inline IVec<3> morton_decode<3>(std::uint64_t key) {
+  IVec<3> p;
+  p[0] = static_cast<int>(morton_compact3(key));
+  p[1] = static_cast<int>(morton_compact3(key >> 1));
+  p[2] = static_cast<int>(morton_compact3(key >> 2));
+  return p;
+}
+
+/// A key that orders blocks of mixed refinement levels along one global
+/// Z-order curve: the coordinate is promoted to a fixed fine level so that a
+/// parent sorts adjacent to (just before) its descendants. `level` must be
+/// <= kMaxLevel and coords must fit in 20 bits at their own level.
+template <int D>
+std::uint64_t morton_key_global(int level, IVec<D> coords, int max_level) {
+  IVec<D> fine = coords.shifted_left(max_level - level);
+  return morton_encode<D>(fine);
+}
+
+}  // namespace ab

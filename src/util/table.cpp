@@ -1,0 +1,88 @@
+#include "util/table.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ab {
+
+Table::Table(std::vector<std::string> headers, int double_precision)
+    : headers_(std::move(headers)), precision_(double_precision) {
+  AB_REQUIRE(!headers_.empty(), "Table: need at least one column");
+}
+
+Table& Table::add_row(
+    std::vector<std::variant<std::string, long long, double>> row) {
+  AB_REQUIRE(row.size() == headers_.size(), "Table: row width mismatch");
+  std::vector<std::string> out;
+  out.reserve(row.size());
+  for (auto& cell : row) {
+    if (std::holds_alternative<std::string>(cell)) {
+      out.push_back(std::get<std::string>(cell));
+    } else if (std::holds_alternative<long long>(cell)) {
+      out.push_back(std::to_string(std::get<long long>(cell)));
+    } else {
+      std::ostringstream os;
+      os << std::setprecision(precision_) << std::get<double>(cell);
+      out.push_back(os.str());
+    }
+  }
+  cells_.push_back(std::move(out));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : cells_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+
+  auto rule = [&] {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << "+" << std::string(width[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto line = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << "| " << std::setw(static_cast<int>(width[c])) << row[c] << " ";
+    os << "|\n";
+  };
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& row : cells_) line(row);
+  rule();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::string& s) {
+    if (s.find(',') != std::string::npos || s.find('"') != std::string::npos) {
+      os << '"';
+      for (char ch : s) {
+        if (ch == '"') os << '"';
+        os << ch;
+      }
+      os << '"';
+    } else {
+      os << s;
+    }
+  };
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    emit(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      emit(row[c]);
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace ab

@@ -1,0 +1,37 @@
+// Aligned ASCII table and CSV emission for benchmark harnesses.
+//
+// Every figure-reproduction bench prints its series through this so the
+// output can be diffed against EXPERIMENTS.md and post-processed as CSV.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ab {
+
+/// A simple column-aligned table. Cells are strings, integers, or doubles;
+/// doubles are printed with a configurable precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int double_precision = 4);
+
+  /// Append a row; the number of cells must match the header count.
+  Table& add_row(std::vector<std::variant<std::string, long long, double>> row);
+
+  /// Render as an aligned ASCII table.
+  void print(std::ostream& os) const;
+  /// Render as CSV (RFC-4180-style quoting for cells containing commas).
+  void print_csv(std::ostream& os) const;
+
+  int rows() const { return static_cast<int>(cells_.size()); }
+  int cols() const { return static_cast<int>(headers_.size()); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+  int precision_;
+};
+
+}  // namespace ab

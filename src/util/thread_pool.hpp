@@ -1,0 +1,125 @@
+// A small persistent thread pool with a dynamic-chunk parallel_for.
+//
+// Adaptive blocks parallelize naturally over blocks: within each phase
+// (ghost fill, stage update, combine) every unit of work writes a disjoint
+// memory region, so a parallel_for with a barrier at the end is the whole
+// shared-memory execution model — the on-node analogue of the paper's
+// per-block message passing.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ab {
+
+class ThreadPool {
+ public:
+  /// Creates a pool that runs work on `num_threads` threads total (the
+  /// calling thread participates; `num_threads - 1` workers are spawned).
+  explicit ThreadPool(int num_threads)
+      : num_threads_(num_threads) {
+    AB_REQUIRE(num_threads >= 1, "ThreadPool: need at least one thread");
+    workers_.reserve(static_cast<std::size_t>(num_threads - 1));
+    for (int i = 0; i < num_threads - 1; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  int size() const { return num_threads_; }
+
+  /// Invoke fn(i) for every i in [0, n), distributing dynamically across
+  /// the pool. Returns when all invocations finished. fn must be safe to
+  /// call concurrently for distinct i. Exceptions thrown by fn terminate
+  /// (the numerics never throw on valid data; programming errors should be
+  /// loud).
+  void parallel_for(std::int64_t n, const std::function<void(std::int64_t)>& fn) {
+    if (n <= 0) return;
+    if (num_threads_ == 1 || n == 1) {
+      for (std::int64_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      task_ = &fn;
+      next_.store(0, std::memory_order_relaxed);
+      limit_ = n;
+      chunk_ = std::max<std::int64_t>(1, n / (8 * num_threads_));
+      remaining_.store(n, std::memory_order_relaxed);
+      ++generation_;
+    }
+    cv_.notify_all();
+    drain();  // the calling thread works too
+    // Wait for stragglers.
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [this] {
+      return remaining_.load(std::memory_order_acquire) == 0;
+    });
+    task_ = nullptr;
+  }
+
+ private:
+  void drain() {
+    const std::function<void(std::int64_t)>* task = task_;
+    std::int64_t done = 0;
+    for (;;) {
+      const std::int64_t begin =
+          next_.fetch_add(chunk_, std::memory_order_relaxed);
+      if (begin >= limit_) break;
+      const std::int64_t end = std::min(begin + chunk_, limit_);
+      for (std::int64_t i = begin; i < end; ++i) (*task)(i);
+      done += end - begin;
+    }
+    if (done > 0 &&
+        remaining_.fetch_sub(done, std::memory_order_acq_rel) == done) {
+      std::lock_guard<std::mutex> lk(mu_);
+      done_cv_.notify_all();
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
+        if (shutdown_) return;
+        seen = generation_;
+      }
+      drain();
+    }
+  }
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::int64_t)>* task_ = nullptr;
+  std::atomic<std::int64_t> next_{0};
+  std::int64_t limit_ = 0;
+  std::int64_t chunk_ = 1;
+  std::atomic<std::int64_t> remaining_{0};
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace ab

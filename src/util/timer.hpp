@@ -1,0 +1,40 @@
+// Wall-clock timing and floating-point-operation accounting.
+//
+// Timers are only used by benchmarks and examples; library code paths are
+// deterministic. The flop counts feed the parallel machine model so the
+// simulated Cray T3D charges exactly the arithmetic the real kernels do.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ab {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  /// Seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates a count of floating-point operations reported by kernels.
+/// Single-threaded by design (the simulator is sequential).
+class FlopCounter {
+ public:
+  void add(std::uint64_t flops) { total_ += flops; }
+  void reset() { total_ = 0; }
+  std::uint64_t total() const { return total_; }
+
+ private:
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace ab

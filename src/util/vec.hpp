@@ -1,0 +1,149 @@
+// Small fixed-dimension vector types used throughout the library.
+//
+// IVec<D>: integer lattice coordinates (block/cell indices).
+// RVec<D>: physical-space coordinates.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+
+namespace ab {
+
+/// Integer vector of dimension D. Supports elementwise arithmetic and
+/// lexicographic comparison; used for logical block and cell coordinates.
+template <int D>
+struct IVec {
+  std::array<int, D> v{};
+
+  constexpr IVec() = default;
+  constexpr explicit IVec(int fill) {
+    for (int d = 0; d < D; ++d) v[d] = fill;
+  }
+  template <class... Args>
+    requires(sizeof...(Args) == D && D > 1)
+  constexpr IVec(Args... args) : v{static_cast<int>(args)...} {}
+
+  constexpr int& operator[](int d) { return v[d]; }
+  constexpr int operator[](int d) const { return v[d]; }
+
+  friend constexpr IVec operator+(IVec a, IVec b) {
+    IVec r;
+    for (int d = 0; d < D; ++d) r[d] = a[d] + b[d];
+    return r;
+  }
+  friend constexpr IVec operator-(IVec a, IVec b) {
+    IVec r;
+    for (int d = 0; d < D; ++d) r[d] = a[d] - b[d];
+    return r;
+  }
+  friend constexpr IVec operator*(IVec a, int s) {
+    IVec r;
+    for (int d = 0; d < D; ++d) r[d] = a[d] * s;
+    return r;
+  }
+  friend constexpr IVec operator*(int s, IVec a) { return a * s; }
+  friend constexpr bool operator==(IVec a, IVec b) { return a.v == b.v; }
+  friend constexpr bool operator!=(IVec a, IVec b) { return !(a == b); }
+  friend constexpr bool operator<(IVec a, IVec b) { return a.v < b.v; }
+
+  /// Elementwise arithmetic right shift (used to map coordinates between
+  /// refinement levels; correct for non-negative coordinates).
+  constexpr IVec shifted_right(int s) const {
+    IVec r;
+    for (int d = 0; d < D; ++d) r[d] = v[d] >> s;
+    return r;
+  }
+  /// Elementwise left shift.
+  constexpr IVec shifted_left(int s) const {
+    IVec r;
+    for (int d = 0; d < D; ++d) r[d] = v[d] << s;
+    return r;
+  }
+
+  constexpr std::int64_t product() const {
+    std::int64_t p = 1;
+    for (int d = 0; d < D; ++d) p *= v[d];
+    return p;
+  }
+  constexpr int sum() const {
+    int s = 0;
+    for (int d = 0; d < D; ++d) s += v[d];
+    return s;
+  }
+  constexpr int max_element() const {
+    int m = v[0];
+    for (int d = 1; d < D; ++d) m = v[d] > m ? v[d] : m;
+    return m;
+  }
+  constexpr int min_element() const {
+    int m = v[0];
+    for (int d = 1; d < D; ++d) m = v[d] < m ? v[d] : m;
+    return m;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, IVec a) {
+    os << "(";
+    for (int d = 0; d < D; ++d) os << a[d] << (d + 1 < D ? "," : ")");
+    return os;
+  }
+};
+
+/// Unit vector along dimension `dim`, scaled by `s`.
+template <int D>
+constexpr IVec<D> unit(int dim, int s = 1) {
+  IVec<D> r;
+  r[dim] = s;
+  return r;
+}
+
+/// Real-valued vector of dimension D for physical coordinates.
+template <int D>
+struct RVec {
+  std::array<double, D> v{};
+
+  constexpr RVec() = default;
+  constexpr explicit RVec(double fill) {
+    for (int d = 0; d < D; ++d) v[d] = fill;
+  }
+  template <class... Args>
+    requires(sizeof...(Args) == D && D > 1)
+  constexpr RVec(Args... args) : v{static_cast<double>(args)...} {}
+
+  constexpr double& operator[](int d) { return v[d]; }
+  constexpr double operator[](int d) const { return v[d]; }
+
+  friend constexpr RVec operator+(RVec a, RVec b) {
+    RVec r;
+    for (int d = 0; d < D; ++d) r[d] = a[d] + b[d];
+    return r;
+  }
+  friend constexpr RVec operator-(RVec a, RVec b) {
+    RVec r;
+    for (int d = 0; d < D; ++d) r[d] = a[d] - b[d];
+    return r;
+  }
+  friend constexpr RVec operator*(RVec a, double s) {
+    RVec r;
+    for (int d = 0; d < D; ++d) r[d] = a[d] * s;
+    return r;
+  }
+  friend constexpr RVec operator*(double s, RVec a) { return a * s; }
+  friend constexpr bool operator==(RVec a, RVec b) { return a.v == b.v; }
+
+  double norm2() const {
+    double s = 0;
+    for (int d = 0; d < D; ++d) s += v[d] * v[d];
+    return s;
+  }
+  double norm() const { return std::sqrt(norm2()); }
+
+  friend std::ostream& operator<<(std::ostream& os, RVec a) {
+    os << "(";
+    for (int d = 0; d < D; ++d) os << a[d] << (d + 1 < D ? "," : ")");
+    return os;
+  }
+};
+
+}  // namespace ab

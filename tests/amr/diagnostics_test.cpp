@@ -1,0 +1,146 @@
+#include "amr/diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "amr/solver.hpp"
+#include "core/ghost.hpp"
+#include "physics/advection.hpp"
+
+namespace ab {
+namespace {
+
+struct Fixture {
+  Forest<2>::Config cfg;
+  Forest<2> forest;
+  BlockLayout<2> lay;
+  BlockStore<2> store;
+
+  Fixture() : cfg(make_cfg()), forest(cfg), lay({4, 4}, 2, 3), store(lay) {
+    for (int id : forest.leaves()) store.ensure(id);
+  }
+  static Forest<2>::Config make_cfg() {
+    Forest<2>::Config c;
+    c.root_blocks = {2, 2};
+    c.periodic = {true, true};
+    c.max_level = 3;
+    return c;
+  }
+
+  template <class F>
+  void fill(const F& f) {
+    for (int id : forest.leaves()) {
+      store.ensure(id);
+      BlockView<2> v = store.view(id);
+      RVec<2> lo = forest.block_lo(id);
+      RVec<2> dx = forest.block_size(forest.level(id));
+      dx[0] /= 4;
+      dx[1] /= 4;
+      for_each_cell<2>(lay.interior_box(), [&](IVec<2> p) {
+        RVec<2> x{lo[0] + (p[0] + 0.5) * dx[0], lo[1] + (p[1] + 0.5) * dx[1]};
+        for (int var = 0; var < 3; ++var) v.at(var, p) = f(x, var);
+      });
+    }
+  }
+};
+
+TEST(Diagnostics, StatsOfConstantField) {
+  Fixture fx;
+  fx.fill([](const RVec<2>&, int var) { return var == 0 ? 2.5 : -1.0; });
+  auto s = compute_var_stats<2>(fx.forest, fx.store, 0);
+  EXPECT_DOUBLE_EQ(s.min, 2.5);
+  EXPECT_DOUBLE_EQ(s.max, 2.5);
+  EXPECT_NEAR(s.integral, 2.5, 1e-13);        // unit domain
+  EXPECT_NEAR(s.l1, 2.5, 1e-13);
+  EXPECT_NEAR(s.l2, 2.5, 1e-13);
+  auto t = compute_var_stats<2>(fx.forest, fx.store, 1);
+  EXPECT_NEAR(t.integral, -1.0, 1e-13);
+  EXPECT_NEAR(t.l1, 1.0, 1e-13);
+}
+
+TEST(Diagnostics, StatsWeightedByCellVolumeAcrossLevels) {
+  Fixture fx;
+  fx.forest.refine(fx.forest.find(0, {0, 0}));
+  // value 4 on the refined quadrant (area 1/4), 0 elsewhere.
+  fx.fill([](const RVec<2>& x, int) {
+    return (x[0] < 0.5 && x[1] < 0.5) ? 4.0 : 0.0;
+  });
+  auto s = compute_var_stats<2>(fx.forest, fx.store, 0);
+  EXPECT_NEAR(s.integral, 1.0, 1e-13);
+}
+
+/// Single-block fixture with ghosts filled directly from the analytic
+/// function (no exchange needed), so non-periodic test fields are exact.
+struct OneBlock {
+  Forest<2>::Config cfg;
+  Forest<2> forest;
+  BlockLayout<2> lay;
+  BlockStore<2> store;
+
+  OneBlock() : cfg(make_cfg()), forest(cfg), lay({8, 8}, 2, 3), store(lay) {
+    store.ensure(forest.leaves()[0]);
+  }
+  static Forest<2>::Config make_cfg() {
+    Forest<2>::Config c;
+    c.root_blocks = {1, 1};
+    return c;
+  }
+  template <class F>
+  void fill_with_ghosts(const F& f) {
+    const int id = forest.leaves()[0];
+    BlockView<2> v = store.view(id);
+    for_each_cell<2>(lay.ghosted_box(), [&](IVec<2> p) {
+      RVec<2> x{(p[0] + 0.5) / 8.0, (p[1] + 0.5) / 8.0};
+      for (int var = 0; var < 3; ++var) v.at(var, p) = f(x, var);
+    });
+  }
+};
+
+TEST(Diagnostics, DivergenceOfLinearFieldExact) {
+  OneBlock fx;
+  // Vector field (vars 0,1) = (3x, -y): div = 2 everywhere; dx = 1/8.
+  fx.fill_with_ghosts([](const RVec<2>& x, int var) {
+    if (var == 0) return 3.0 * x[0];
+    if (var == 1) return -x[1];
+    return 0.0;
+  });
+  EXPECT_NEAR(max_divergence_dx<2>(fx.forest, fx.store, 0), 0.25, 1e-12);
+}
+
+TEST(Diagnostics, DivergenceFreeFieldIsZero) {
+  OneBlock fx;
+  fx.fill_with_ghosts([](const RVec<2>& x, int var) {
+    // (y, x): divergence-free.
+    if (var == 0) return x[1];
+    if (var == 1) return x[0];
+    return 0.0;
+  });
+  EXPECT_NEAR(max_divergence_dx<2>(fx.forest, fx.store, 0), 0.0, 1e-13);
+}
+
+TEST(Diagnostics, LedgerTracksDrift) {
+  Fixture fx;
+  fx.fill([](const RVec<2>&, int) { return 2.0; });
+  ConservationLedger<2> ledger;
+  ledger.open(fx.forest, fx.store, {0, 1});
+  EXPECT_EQ(ledger.max_drift(fx.forest, fx.store), 0.0);
+  // Perturb variable 1 by +1 in one cell of one block.
+  fx.store.view(fx.forest.leaves()[0]).at(1, {0, 0}) += 1.0;
+  EXPECT_DOUBLE_EQ(ledger.drift(fx.forest, fx.store, 0), 0.0);
+  // One cell of 1/64 area on var total 2.0: drift = (1/64)/2.
+  EXPECT_NEAR(ledger.drift(fx.forest, fx.store, 1), 1.0 / 64.0 / 2.0, 1e-12);
+  EXPECT_GT(ledger.max_drift(fx.forest, fx.store), 0.0);
+}
+
+TEST(Diagnostics, RejectsBadArguments) {
+  Fixture fx;
+  EXPECT_THROW(compute_var_stats<2>(fx.forest, fx.store, 7), Error);
+  EXPECT_THROW(max_divergence_dx<2>(fx.forest, fx.store, 2), Error);
+  ConservationLedger<2> ledger;
+  ledger.open(fx.forest, fx.store, {0});
+  EXPECT_THROW(ledger.drift(fx.forest, fx.store, 3), Error);
+}
+
+}  // namespace
+}  // namespace ab

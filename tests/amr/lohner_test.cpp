@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "amr/criteria.hpp"
+#include "core/block_store.hpp"
+#include "core/forest.hpp"
+
+namespace ab {
+namespace {
+
+struct Fixture {
+  Forest<2>::Config cfg;
+  Forest<2> forest;
+  BlockLayout<2> lay;
+  BlockStore<2> store;
+
+  Fixture() : cfg(make_cfg()), forest(cfg), lay({8, 8}, 2, 1), store(lay) {
+    for (int id : forest.leaves()) store.ensure(id);
+  }
+  static Forest<2>::Config make_cfg() {
+    Forest<2>::Config c;
+    c.root_blocks = {2, 2};
+    c.max_level = 3;
+    return c;
+  }
+
+  template <class F>
+  void fill(int id, const F& f) {
+    BlockView<2> v = store.view(id);
+    RVec<2> lo = forest.block_lo(id);
+    RVec<2> dx = forest.block_size(forest.level(id));
+    dx[0] /= 8;
+    dx[1] /= 8;
+    for_each_cell<2>(lay.interior_box(), [&](IVec<2> p) {
+      v.at(0, p) = f(RVec<2>{lo[0] + (p[0] + 0.5) * dx[0],
+                             lo[1] + (p[1] + 0.5) * dx[1]});
+    });
+  }
+};
+
+TEST(Lohner, ZeroForConstant) {
+  Fixture fx;
+  int id = fx.forest.leaves()[0];
+  fx.fill(id, [](RVec<2>) { return 3.0; });
+  EXPECT_EQ(max_lohner_estimate<2>(fx.store, id, 0), 0.0);
+}
+
+TEST(Lohner, NearZeroForSteepLinearRamp) {
+  // The key property vs the plain jump indicator: a steep but LINEAR ramp
+  // has zero second difference, so the estimator stays near zero.
+  Fixture fx;
+  int id = fx.forest.leaves()[0];
+  fx.fill(id, [](RVec<2> x) { return 100.0 * x[0] - 40.0 * x[1]; });
+  EXPECT_LT(max_lohner_estimate<2>(fx.store, id, 0), 1e-10);
+}
+
+TEST(Lohner, NearOneForDiscontinuity) {
+  Fixture fx;
+  int id = fx.forest.leaves()[0];
+  fx.fill(id, [](RVec<2> x) { return x[0] < 0.25 ? 1.0 : 2.0; });
+  EXPECT_GT(max_lohner_estimate<2>(fx.store, id, 0), 0.8);
+}
+
+TEST(Lohner, NoiseFilterSuppressesTinyWiggles) {
+  // Machine-level wiggles on a large constant: the eps term dominates the
+  // denominator and the estimator stays small despite num ~ den without it.
+  Fixture fx;
+  int id = fx.forest.leaves()[0];
+  BlockView<2> v = fx.store.view(id);
+  for_each_cell<2>(fx.lay.interior_box(), [&](IVec<2> p) {
+    v.at(0, p) = 1000.0 + ((p[0] + p[1]) % 2 ? 1e-10 : -1e-10);
+  });
+  EXPECT_LT(max_lohner_estimate<2>(fx.store, id, 0), 1e-5);
+}
+
+TEST(Lohner, CriterionFlagsShockKeepsRamp) {
+  Fixture fx;
+  LohnerCriterion<2> crit;
+  crit.refine_threshold = 0.6;
+  crit.coarsen_threshold = 0.2;
+  crit.max_level = 3;
+  int shock = fx.forest.leaves()[0];
+  fx.fill(shock, [](RVec<2> x) { return x[0] < 0.25 ? 1.0 : 2.0; });
+  EXPECT_EQ(crit(fx.forest, fx.store, shock), AdaptFlag::Refine);
+  int ramp = fx.forest.leaves()[1];
+  fx.fill(ramp, [](RVec<2> x) { return 50.0 * x[0]; });
+  // Level 0 cannot coarsen: Keep.
+  EXPECT_EQ(crit(fx.forest, fx.store, ramp), AdaptFlag::Keep);
+  // By contrast, the plain jump criterion would refine the steep ramp.
+  GradientCriterion<2> jump{0, 0.05, 0.01, 3};
+  EXPECT_EQ(jump(fx.forest, fx.store, ramp), AdaptFlag::Refine);
+}
+
+TEST(Lohner, CoarsensSmoothRefinedBlock) {
+  Fixture fx;
+  fx.forest.refine(fx.forest.leaves()[0]);
+  LohnerCriterion<2> crit;
+  for (int id : fx.forest.leaves()) {
+    if (fx.forest.level(id) == 0) continue;
+    fx.store.ensure(id);
+    fx.fill(id, [](RVec<2> x) { return 2.0 + 0.1 * x[0]; });
+    EXPECT_EQ(crit(fx.forest, fx.store, id), AdaptFlag::Coarsen);
+  }
+}
+
+}  // namespace
+}  // namespace ab

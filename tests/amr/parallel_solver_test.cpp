@@ -1,0 +1,88 @@
+// Threaded execution must be bit-identical to serial: every parallel phase
+// writes disjoint per-block regions, so the result cannot depend on the
+// thread count or schedule.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "amr/solver.hpp"
+#include "physics/euler.hpp"
+#include "physics/mhd.hpp"
+
+namespace ab {
+namespace {
+
+template <class Phys, class Ic>
+std::vector<double> run(Phys phys, const Ic& ic, int threads,
+                        bool flux_correction, int steps) {
+  typename AmrSolver<2, Phys>::Config cfg;
+  cfg.forest.root_blocks = {2, 2};
+  cfg.forest.periodic = {true, true};
+  cfg.forest.max_level = 2;
+  cfg.cells_per_block = {8, 8};
+  cfg.num_threads = threads;
+  cfg.flux_correction = flux_correction;
+  AmrSolver<2, Phys> solver(cfg, phys);
+  solver.init(ic);
+  GradientCriterion<2> crit{0, 0.05, 0.01, 2};
+  solver.adapt(crit);
+  solver.init(ic);
+  for (int i = 0; i < steps; ++i) {
+    solver.step(solver.compute_dt());
+    if (i % 3 == 2) solver.adapt(crit);
+  }
+  std::vector<double> out;
+  for (int id : solver.forest().leaves()) {
+    ConstBlockView<2> v = solver.store().view(id);
+    out.push_back(static_cast<double>(solver.forest().level(id)));
+    for_each_cell<2>(solver.store().layout().interior_box(), [&](IVec<2> p) {
+      for (int k = 0; k < Phys::NVAR; ++k) out.push_back(v.at(k, p));
+    });
+  }
+  return out;
+}
+
+class ParallelSolverThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelSolverThreads, EulerBitIdenticalToSerial) {
+  Euler<2> phys;
+  auto ic = [&](const RVec<2>& x, Euler<2>::State& s) {
+    const double dx = x[0] - 0.5, dy = x[1] - 0.5;
+    s = phys.from_primitive(1.0 + 0.5 * std::exp(-40 * (dx * dx + dy * dy)),
+                            {0.3, -0.2}, 1.0);
+  };
+  auto serial = run<Euler<2>>(phys, ic, 1, false, 8);
+  auto parallel = run<Euler<2>>(phys, ic, GetParam(), false, 8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    ASSERT_EQ(serial[i], parallel[i]) << "element " << i;
+}
+
+TEST_P(ParallelSolverThreads, MhdWithRefluxBitIdenticalToSerial) {
+  IdealMhd<2> phys;
+  auto ic = [&](const RVec<2>& x, IdealMhd<2>::State& s) {
+    const double dx = x[0] - 0.5, dy = x[1] - 0.5;
+    s = phys.from_primitive(1.0, {0.0, 0.0, 0.0}, {0.3, 0.3, 0.0},
+                            1.0 + 2.0 * std::exp(-40 * (dx * dx + dy * dy)));
+  };
+  auto serial = run<IdealMhd<2>>(phys, ic, 1, true, 6);
+  auto parallel = run<IdealMhd<2>>(phys, ic, GetParam(), true, 6);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    ASSERT_EQ(serial[i], parallel[i]) << "element " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelSolverThreads,
+                         ::testing::Values(2, 3, 7));
+
+TEST(ParallelSolver, RejectsZeroThreads) {
+  Euler<2> phys;
+  AmrSolver<2, Euler<2>>::Config cfg;
+  cfg.forest.root_blocks = {2, 2};
+  cfg.num_threads = 0;
+  EXPECT_THROW((AmrSolver<2, Euler<2>>(cfg, phys)), Error);
+}
+
+}  // namespace
+}  // namespace ab

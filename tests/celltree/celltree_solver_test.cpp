@@ -1,0 +1,146 @@
+#include "celltree/celltree_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "amr/solver.hpp"
+#include "physics/advection.hpp"
+#include "physics/euler.hpp"
+
+namespace ab {
+namespace {
+
+TEST(CellTreeSolver, ConstantStateSteady) {
+  CellTree<2>::Config c;
+  c.root_cells = {8, 8};
+  CellTree<2> tree(c);
+  LinearAdvection<2> phys;
+  phys.velocity = {1.0, 0.5};
+  CellTreeSolver<2, LinearAdvection<2>> solver(tree, phys);
+  solver.init([](const RVec<2>&, LinearAdvection<2>::State& s) {
+    s[0] = 2.5;
+  });
+  solver.step(0.01);
+  for (int id : tree.leaves()) EXPECT_NEAR(solver.value(id)[0], 2.5, 1e-14);
+}
+
+TEST(CellTreeSolver, ConservationOnPeriodicUniformGrid) {
+  CellTree<2>::Config c;
+  c.root_cells = {8, 8};
+  c.periodic = {true, true};
+  CellTree<2> tree(c);
+  Euler<2> phys;
+  CellTreeSolver<2, Euler<2>> solver(tree, phys);
+  solver.init([&](const RVec<2>& x, Euler<2>::State& s) {
+    s = phys.from_primitive(1.0 + 0.2 * std::sin(2 * M_PI * x[0]),
+                            {0.5, 0.25}, 1.0);
+  });
+  const double m0 = solver.total_conserved(0);
+  const double e0 = solver.total_conserved(3);
+  const double dt = solver.compute_dt(0.4);
+  for (int i = 0; i < 5; ++i) solver.step(dt);
+  EXPECT_NEAR(solver.total_conserved(0), m0, 1e-12 * std::fabs(m0));
+  EXPECT_NEAR(solver.total_conserved(3), e0, 1e-12 * std::fabs(e0));
+}
+
+TEST(CellTreeSolver, MatchesBlockSolverOnUniformGrid) {
+  // Same first-order numerics, same uniform grid: the cell-based tree and
+  // the adaptive block solver must produce identical solutions. This
+  // isolates the DATA STRUCTURE as the only difference in Figure 5.
+  const int N = 16;
+  Euler<2> phys;
+
+  // Block solver: 2x2 root blocks of 8x8 cells, periodic.
+  AmrSolver<2, Euler<2>>::Config bc;
+  bc.forest.root_blocks = {2, 2};
+  bc.forest.periodic = {true, true};
+  bc.cells_per_block = {8, 8};
+  bc.ghost = 1;
+  bc.order = SpatialOrder::First;
+  bc.rk_stages = 1;
+  AmrSolver<2, Euler<2>> bsolver(bc, phys);
+
+  // Cell tree: 16x16 root cells, periodic.
+  CellTree<2>::Config cc;
+  cc.root_cells = {N, N};
+  cc.max_level = 2;
+  cc.periodic = {true, true};
+  CellTree<2> tree(cc);
+  CellTreeSolver<2, Euler<2>> csolver(tree, phys);
+
+  auto ic = [&](const RVec<2>& x, Euler<2>::State& s) {
+    s = phys.from_primitive(
+        1.0 + 0.3 * std::exp(-30.0 * ((x[0] - 0.5) * (x[0] - 0.5) +
+                                      (x[1] - 0.5) * (x[1] - 0.5))),
+        {0.4, -0.2}, 1.0);
+  };
+  bsolver.init(ic);
+  csolver.init(ic);
+
+  const double dt = 0.3 * bsolver.compute_dt() / 0.4;  // same dt for both
+  for (int i = 0; i < 4; ++i) {
+    bsolver.step(dt);
+    csolver.step(dt);
+  }
+
+  // Compare every cell.
+  double max_diff = 0.0;
+  for (int id : tree.leaves()) {
+    const RVec<2> x = tree.cell_center(id);
+    // Locate the block cell containing x.
+    IVec<2> cell{static_cast<int>(x[0] * N), static_cast<int>(x[1] * N)};
+    int block = bsolver.forest().find(0, {cell[0] / 8, cell[1] / 8});
+    ASSERT_GE(block, 0);
+    IVec<2> local{cell[0] % 8, cell[1] % 8};
+    ConstBlockView<2> v = std::as_const(bsolver.store()).view(block);
+    const auto s = csolver.value(id);
+    for (int var = 0; var < 4; ++var)
+      max_diff = std::max(max_diff, std::fabs(v.at(var, local) - s[var]));
+  }
+  EXPECT_LT(max_diff, 1e-12);
+}
+
+TEST(CellTreeSolver, RefinedTreeRemainsStableAndPositive) {
+  CellTree<2>::Config c;
+  c.root_cells = {8, 8};
+  c.max_level = 2;
+  CellTree<2> tree(c);
+  // Refine the center region to level 1.
+  for (int id : std::vector<int>(tree.leaves())) {
+    RVec<2> x = tree.cell_center(id);
+    if (std::fabs(x[0] - 0.5) < 0.2 && std::fabs(x[1] - 0.5) < 0.2)
+      tree.refine(id);
+  }
+  EXPECT_GT(tree.num_leaves(), 64);
+  Euler<2> phys;
+  CellTreeSolver<2, Euler<2>> solver(tree, phys);
+  solver.init([&](const RVec<2>& x, Euler<2>::State& s) {
+    const double r2 = (x[0] - 0.5) * (x[0] - 0.5) +
+                      (x[1] - 0.5) * (x[1] - 0.5);
+    s = phys.from_primitive(1.0, {0.0, 0.0}, r2 < 0.04 ? 2.0 : 1.0);
+  });
+  const double dt = solver.compute_dt(0.3);
+  for (int i = 0; i < 8; ++i) solver.step(dt);
+  for (int id : tree.leaves()) {
+    const auto s = solver.value(id);
+    EXPECT_GT(s[0], 0.0);
+    EXPECT_GT(phys.pressure(s), 0.0);
+    EXPECT_TRUE(std::isfinite(s[3]));
+  }
+}
+
+TEST(CellTreeSolver, StepReportsTraversalWork) {
+  CellTree<2>::Config c;
+  c.root_cells = {4, 4};
+  CellTree<2> tree(c);
+  tree.refine(tree.find(0, {1, 1}));
+  LinearAdvection<2> phys;
+  phys.velocity = {1.0, 0.0};
+  CellTreeSolver<2, LinearAdvection<2>> solver(tree, phys);
+  solver.init([](const RVec<2>&, LinearAdvection<2>::State& s) { s[0] = 1.0; });
+  EXPECT_GT(solver.step(0.01), 0);
+}
+
+}  // namespace
+}  // namespace ab

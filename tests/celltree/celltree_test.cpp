@@ -1,0 +1,216 @@
+#include "celltree/celltree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+namespace ab {
+namespace {
+
+CellTree<2>::Config cfg2(int rx = 2, int ry = 2, int max_level = 6) {
+  CellTree<2>::Config c;
+  c.root_cells = {rx, ry};
+  c.max_level = max_level;
+  return c;
+}
+
+TEST(CellTree, RootGrid) {
+  CellTree<2> t(cfg2(3, 2));
+  EXPECT_EQ(t.num_leaves(), 6);
+  EXPECT_EQ(t.num_nodes(), 6);
+}
+
+TEST(CellTree, RefineSubdividesCell) {
+  CellTree<2> t(cfg2());
+  int id = t.find(0, {0, 0});
+  EXPECT_EQ(t.refine(id), 1);
+  EXPECT_EQ(t.num_leaves(), 7);
+  EXPECT_FALSE(t.is_leaf(id));
+  // Unlike adaptive blocks, the parent cell REMAINS in the tree (the region
+  // now has two representations) — the paper's Figure 4 point.
+  EXPECT_TRUE(t.is_live(id));
+  EXPECT_EQ(t.num_nodes(), 8);  // 4 roots + 4 children, parent kept
+}
+
+TEST(CellTree, NeighborTraverseSibling) {
+  CellTree<2> t(cfg2(1, 1));
+  int root = t.find(0, {0, 0});
+  t.refine(root);
+  // Child (0,0) -> sibling (1,0) across +x.
+  int c00 = t.find(1, {0, 0});
+  std::int64_t steps = 0;
+  int nb = t.neighbor_traverse(c00, 0, 1, &steps);
+  EXPECT_EQ(nb, t.find(1, {1, 0}));
+  EXPECT_EQ(steps, 2);  // one up, one down
+}
+
+TEST(CellTree, NeighborTraverseAcrossParentBoundary) {
+  CellTree<2> t(cfg2(2, 1));
+  t.refine(t.find(0, {0, 0}));
+  t.refine(t.find(0, {1, 0}));
+  // Rightmost child of the left root -> leftmost child of the right root.
+  int a = t.find(1, {1, 0});
+  std::int64_t steps = 0;
+  int nb = t.neighbor_traverse(a, 0, 1, &steps);
+  EXPECT_EQ(nb, t.find(1, {2, 0}));
+  // Up to the root (1), root adjacency (1), down (1) = 3.
+  EXPECT_EQ(steps, 3);
+}
+
+TEST(CellTree, NeighborTraverseCoarser) {
+  CellTree<2> t(cfg2(2, 1));
+  t.refine(t.find(0, {0, 0}));
+  int a = t.find(1, {1, 0});
+  int nb = t.neighbor_traverse(a, 0, 1);
+  EXPECT_EQ(nb, t.find(0, {1, 0}));  // the coarse leaf itself
+}
+
+TEST(CellTree, NeighborTraverseMatchesOracleEverywhere) {
+  // Build a random 2:1 tree; every traversal must agree with the
+  // coordinate-hash oracle.
+  CellTree<2> t(cfg2(2, 2, 5));
+  std::mt19937 rng(42);
+  for (int i = 0; i < 60; ++i) {
+    const auto& leaves = t.leaves();
+    int id = leaves[rng() % leaves.size()];
+    if (t.level(id) < 5) t.refine(id);
+  }
+  for (int id : t.leaves()) {
+    for (int dim = 0; dim < 2; ++dim)
+      for (int side = 0; side < 2; ++side) {
+        const int got = t.neighbor_traverse(id, dim, side);
+        // Oracle: same-level node if it exists, else the coarser leaf.
+        IVec<2> n = t.coords(id) + unit<2>(dim, side ? 1 : -1);
+        const int L = t.level(id);
+        IVec<2> ext{2 << L, 2 << L};
+        if (n[0] < 0 || n[1] < 0 || n[0] >= ext[0] || n[1] >= ext[1]) {
+          EXPECT_EQ(got, -1);
+          continue;
+        }
+        int want = -1;
+        for (int l = L; l >= 0; --l) {
+          want = t.find(l, n.shifted_right(L - l));
+          if (want >= 0) break;
+        }
+        EXPECT_EQ(got, want) << "leaf " << id << " dim " << dim << " side "
+                             << side;
+      }
+  }
+}
+
+TEST(CellTree, NeighborLeavesUnderTwoToOne) {
+  CellTree<2> t(cfg2(2, 1));
+  t.refine(t.find(0, {1, 0}));
+  std::vector<int> nbrs;
+  t.neighbor_leaves(t.find(0, {0, 0}), 0, 1, nbrs);
+  ASSERT_EQ(nbrs.size(), 2u);  // 2^(d-1) finer cells
+  for (int nb : nbrs) EXPECT_EQ(t.level(nb), 1);
+}
+
+TEST(CellTree, TwoToOneCascade) {
+  CellTree<2> t(cfg2(2, 1, 6));
+  t.refine(t.find(0, {1, 0}));
+  const int refined = t.refine(t.find(1, {2, 0}));
+  EXPECT_EQ(refined, 2);  // cascaded into the left root
+  for (int id : t.leaves())
+    for (int dim = 0; dim < 2; ++dim)
+      for (int side = 0; side < 2; ++side) {
+        std::vector<int> nbrs;
+        t.neighbor_leaves(id, dim, side, nbrs);
+        for (int nb : nbrs)
+          EXPECT_LE(std::abs(t.level(id) - t.level(nb)), 1);
+      }
+}
+
+TEST(CellTree, CoarsenRestoresLeaf) {
+  CellTree<2> t(cfg2(1, 1));
+  int root = t.find(0, {0, 0});
+  t.refine(root);
+  ASSERT_TRUE(t.can_coarsen(root));
+  t.coarsen(root);
+  EXPECT_TRUE(t.is_leaf(root));
+  EXPECT_EQ(t.num_leaves(), 1);
+}
+
+TEST(CellTree, CoarsenBlockedByFinerNeighbor) {
+  CellTree<2> t(cfg2(2, 1, 6));
+  t.refine(t.find(0, {1, 0}));
+  t.refine(t.find(1, {2, 0}));  // cascades into left root
+  EXPECT_FALSE(t.can_coarsen(t.find(0, {0, 0})));
+}
+
+TEST(CellTree, PeriodicRootAdjacency) {
+  CellTree<2>::Config c = cfg2(3, 1);
+  c.periodic = {true, false};
+  CellTree<2> t(c);
+  int left = t.find(0, {0, 0});
+  EXPECT_EQ(t.neighbor_traverse(left, 0, 0), t.find(0, {2, 0}));
+  EXPECT_EQ(t.neighbor_traverse(left, 1, 0), -1);
+}
+
+TEST(CellTree, TraversalStepsGrowWithDepth) {
+  // The cost the paper attacks: neighbor location needs more link
+  // dereferences at deeper levels (vs O(1) block neighbor pointers).
+  CellTree<1>::Config c;
+  c.root_cells[0] = 2;
+  c.max_level = 8;
+  CellTree<1> t(c);
+  // Refine the cells adjacent to the root boundary repeatedly so that
+  // crossing it requires a full up-and-down traversal.
+  IVec<1> lcoord;
+  lcoord[0] = 0;
+  for (int l = 0; l < 6; ++l) {
+    // Refine the cell just left of the boundary x=1 and just right.
+    IVec<1> lc, rc;
+    lc[0] = (1 << (l + 1)) - 1;  // rightmost cell of left root at level l
+    rc[0] = 1 << (l + 1);
+    int a = t.find(l, lc.shifted_right(1));
+    int b = t.find(l, rc.shifted_right(1));
+    if (a >= 0 && t.is_leaf(a)) t.refine(a);
+    if (b >= 0 && t.is_leaf(b)) t.refine(b);
+  }
+  // The deepest leaf hugging the root boundary from the left: coordinate
+  // 2^L - 1 at level L = 6.
+  IVec<1> bcoord;
+  bcoord[0] = (1 << 6) - 1;
+  const int deep = t.find(6, bcoord);
+  ASSERT_GE(deep, 0);
+  ASSERT_TRUE(t.is_leaf(deep));
+  std::int64_t steps = 0;
+  std::vector<int> nbrs;
+  // Crossing the root boundary costs ~2*level link dereferences (ascend to
+  // the root, cross, descend the mirrored path).
+  t.neighbor_leaves(deep, 0, 1, nbrs, &steps);
+  ASSERT_EQ(nbrs.size(), 1u);
+  EXPECT_GE(steps, 2 * 6);
+  // A sibling crossing costs O(1) regardless of depth.
+  std::int64_t cheap = 0;
+  t.neighbor_leaves(deep, 0, 0, nbrs, &cheap);
+  EXPECT_LE(cheap, 4);
+}
+
+TEST(CellTree, TopologyBytesGrowWithNodes) {
+  CellTree<2> t(cfg2(2, 2));
+  const auto before = t.topology_bytes();
+  t.refine(t.find(0, {0, 0}));
+  EXPECT_GT(t.topology_bytes(), before);
+}
+
+TEST(CellTree3D, OctreeBasics) {
+  CellTree<3>::Config c;
+  c.root_cells = {1, 1, 1};
+  c.max_level = 4;
+  CellTree<3> t(c);
+  int root = t.find(0, {0, 0, 0});
+  t.refine(root);
+  EXPECT_EQ(t.num_leaves(), 8);
+  std::vector<int> nbrs;
+  t.neighbor_leaves(t.find(1, {0, 0, 0}), 2, 1, nbrs);
+  ASSERT_EQ(nbrs.size(), 1u);
+  EXPECT_EQ(nbrs[0], t.find(1, {0, 0, 1}));
+}
+
+}  // namespace
+}  // namespace ab

@@ -1,0 +1,141 @@
+#include "core/bc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ghost.hpp"
+
+namespace ab {
+namespace {
+
+struct BcFixture {
+  Forest<2>::Config cfg;
+  Forest<2> forest;
+  BlockLayout<2> lay;
+  BlockStore<2> store;
+  GhostExchanger<2> gx;
+
+  BcFixture()
+      : cfg(make_cfg()),
+        forest(cfg),
+        lay({4, 4}, 2, 3),
+        store(lay),
+        gx(forest, lay) {
+    for (int id : forest.leaves()) store.ensure(id);
+  }
+  static Forest<2>::Config make_cfg() {
+    Forest<2>::Config c;
+    c.root_blocks = {1, 1};
+    return c;
+  }
+  BlockView<2> view() { return store.view(forest.leaves()[0]); }
+};
+
+TEST(BoundaryConditions, OutflowCopiesNearestInterior) {
+  BcFixture fx;
+  BlockView<2> v = fx.view();
+  for_each_cell<2>(fx.lay.interior_box(), [&](IVec<2> p) {
+    for (int f = 0; f < 3; ++f) v.at(f, p) = 10.0 * p[0] + p[1] + 100.0 * f;
+  });
+  BcSet<2> bc = BcSet<2>::all(BcKind::Outflow);
+  apply_boundary_conditions<2>(fx.store, fx.forest, fx.gx.boundary_faces(),
+                               bc);
+  // Low-x ghosts replicate column 0 (same tangential index).
+  for (int g = 1; g <= 2; ++g)
+    for (int j = 0; j < 4; ++j)
+      for (int f = 0; f < 3; ++f)
+        EXPECT_EQ(v.at(f, {-g, j}), v.at(f, {0, j}));
+  // High-y ghosts replicate row 3.
+  for (int g = 0; g < 2; ++g)
+    for (int i = 0; i < 4; ++i)
+      EXPECT_EQ(v.at(0, {i, 4 + g}), v.at(0, {i, 3}));
+}
+
+TEST(BoundaryConditions, ReflectMirrorsWithSignFlip) {
+  BcFixture fx;
+  BlockView<2> v = fx.view();
+  for_each_cell<2>(fx.lay.interior_box(), [&](IVec<2> p) {
+    for (int f = 0; f < 3; ++f) v.at(f, p) = 10.0 * p[0] + p[1] + 100.0 * f;
+  });
+  BcSet<2> bc = BcSet<2>::all(BcKind::Reflect);
+  // Variable 1 is the "normal momentum in x", variable 2 in y.
+  bc.reflect_sign[0] = {1.0, -1.0, 1.0};
+  bc.reflect_sign[1] = {1.0, 1.0, -1.0};
+  apply_boundary_conditions<2>(fx.store, fx.forest, fx.gx.boundary_faces(),
+                               bc);
+  // Low-x: ghost -1 mirrors interior 0, ghost -2 mirrors interior 1.
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_EQ(v.at(0, {-1, j}), v.at(0, {0, j}));
+    EXPECT_EQ(v.at(0, {-2, j}), v.at(0, {1, j}));
+    EXPECT_EQ(v.at(1, {-1, j}), -v.at(1, {0, j}));  // sign flip across x
+    EXPECT_EQ(v.at(2, {-1, j}), v.at(2, {0, j}));   // tangential unchanged
+  }
+  // High-x: ghost 4 mirrors interior 3, ghost 5 mirrors interior 2.
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_EQ(v.at(0, {4, j}), v.at(0, {3, j}));
+    EXPECT_EQ(v.at(0, {5, j}), v.at(0, {2, j}));
+  }
+  // Across-y faces flip variable 2 instead.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(v.at(2, {i, -1}), -v.at(2, {i, 0}));
+    EXPECT_EQ(v.at(1, {i, -1}), v.at(1, {i, 0}));
+  }
+}
+
+TEST(BoundaryConditions, ReflectDefaultSignIsPlusOne) {
+  BcFixture fx;
+  BlockView<2> v = fx.view();
+  for_each_cell<2>(fx.lay.interior_box(),
+                   [&](IVec<2> p) { v.at(0, p) = p[0] + 1.0; });
+  BcSet<2> bc = BcSet<2>::all(BcKind::Reflect);  // no sign table
+  apply_boundary_conditions<2>(fx.store, fx.forest, fx.gx.boundary_faces(),
+                               bc);
+  EXPECT_EQ(v.at(0, {-1, 0}), 1.0);
+}
+
+TEST(BoundaryConditions, DirichletEvaluatesCallbackAtGhostCenters) {
+  BcFixture fx;
+  BcSet<2> bc = BcSet<2>::all(BcKind::Dirichlet);
+  bc.dirichlet = [](const RVec<2>& x, double t, double* state) {
+    state[0] = x[0];
+    state[1] = x[1];
+    state[2] = t;
+  };
+  apply_boundary_conditions<2>(fx.store, fx.forest, fx.gx.boundary_faces(),
+                               bc, /*time=*/2.5);
+  BlockView<2> v = fx.view();
+  // Block covers [0,1]^2 with 4x4 cells: dx = 0.25.
+  // Ghost cell (-1, 0) center: (-0.125, 0.125).
+  EXPECT_DOUBLE_EQ(v.at(0, {-1, 0}), -0.125);
+  EXPECT_DOUBLE_EQ(v.at(1, {-1, 0}), 0.125);
+  EXPECT_DOUBLE_EQ(v.at(2, {-1, 0}), 2.5);
+  // Ghost cell (4, 2) center: (1.125, 0.625).
+  EXPECT_DOUBLE_EQ(v.at(0, {4, 2}), 1.125);
+  EXPECT_DOUBLE_EQ(v.at(1, {4, 2}), 0.625);
+}
+
+TEST(BoundaryConditions, DirichletWithoutCallbackThrows) {
+  BcFixture fx;
+  BcSet<2> bc = BcSet<2>::all(BcKind::Dirichlet);
+  EXPECT_THROW(apply_boundary_conditions<2>(fx.store, fx.forest,
+                                            fx.gx.boundary_faces(), bc),
+               Error);
+}
+
+TEST(BoundaryConditions, MixedKindsPerFace) {
+  BcFixture fx;
+  BlockView<2> v = fx.view();
+  for_each_cell<2>(fx.lay.interior_box(),
+                   [&](IVec<2> p) { v.at(0, p) = 5.0 + p[0]; });
+  BcSet<2> bc;
+  bc.kind[2 * 0 + 0] = BcKind::Reflect;   // low x
+  bc.kind[2 * 0 + 1] = BcKind::Outflow;   // high x
+  bc.kind[2 * 1 + 0] = BcKind::Outflow;   // low y
+  bc.kind[2 * 1 + 1] = BcKind::Outflow;   // high y
+  apply_boundary_conditions<2>(fx.store, fx.forest, fx.gx.boundary_faces(),
+                               bc);
+  EXPECT_EQ(v.at(0, {-2, 1}), v.at(0, {1, 1}));  // reflect
+  EXPECT_EQ(v.at(0, {5, 1}), v.at(0, {3, 1}));   // outflow clamps
+}
+
+}  // namespace
+}  // namespace ab

@@ -1,0 +1,164 @@
+// Property-based ghost-exchange tests over randomly adapted forests:
+// invariants that must hold for ANY legal topology, periodic or not.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/bc.hpp"
+#include "core/ghost.hpp"
+
+namespace ab {
+namespace {
+
+template <int D>
+Forest<D> random_forest(unsigned seed, bool periodic, int max_level = 3) {
+  typename Forest<D>::Config cfg;
+  cfg.root_blocks = IVec<D>(2);
+  cfg.max_level = max_level;
+  if (periodic)
+    for (int d = 0; d < D; ++d) cfg.periodic[d] = true;
+  Forest<D> f(cfg);
+  std::mt19937 rng(seed);
+  for (int i = 0; i < 40; ++i) {
+    const auto& leaves = f.leaves();
+    const int id = leaves[rng() % leaves.size()];
+    if (rng() % 3 != 0) {
+      if (f.level(id) < max_level) f.refine(id);
+    } else {
+      const int p = f.parent(id);
+      if (p >= 0 && f.can_coarsen(p)) f.coarsen(p);
+    }
+  }
+  return f;
+}
+
+/// Constant fields survive any exchange exactly, everywhere, including
+/// across periodic wraps and every coarse/fine configuration.
+template <int D>
+void check_constant_exact(unsigned seed, bool periodic) {
+  Forest<D> f = random_forest<D>(seed, periodic);
+  BlockLayout<D> lay(IVec<D>(4), 2, 2);
+  BlockStore<D> store(lay);
+  for (int id : f.leaves()) {
+    store.ensure(id);
+    BlockView<D> v = store.view(id);
+    for_each_cell<D>(lay.interior_box(), [&](IVec<D> p) {
+      v.at(0, p) = 3.75;
+      v.at(1, p) = -1.25;
+    });
+  }
+  GhostExchanger<D> gx(f, lay);
+  gx.fill(store);
+  for (const auto& op : gx.ops()) {
+    ConstBlockView<D> v = std::as_const(store).view(op.dst);
+    for_each_cell<D>(op.dst_box, [&](IVec<D> q) {
+      ASSERT_EQ(v.at(0, q), 3.75) << "seed " << seed;
+      ASSERT_EQ(v.at(1, q), -1.25);
+    });
+  }
+}
+
+/// Every ghost value produced by the exchange lies within the global
+/// [min, max] of the interior data (exchange is a convex combination:
+/// copies, averages, and limited interpolation never overshoot by more
+/// than the slope-limited bound; with minmod prolongation the result stays
+/// within the local data range).
+template <int D>
+void check_range_bounded(unsigned seed, bool periodic) {
+  Forest<D> f = random_forest<D>(seed, periodic);
+  BlockLayout<D> lay(IVec<D>(4), 2, 1);
+  BlockStore<D> store(lay);
+  std::mt19937 rng(seed * 7 + 1);
+  std::uniform_real_distribution<double> dist(-5.0, 5.0);
+  double lo = 1e300, hi = -1e300;
+  for (int id : f.leaves()) {
+    store.ensure(id);
+    BlockView<D> v = store.view(id);
+    for_each_cell<D>(lay.interior_box(), [&](IVec<D> p) {
+      const double x = dist(rng);
+      v.at(0, p) = x;
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    });
+  }
+  GhostExchanger<D> gx(f, lay);
+  gx.fill(store);
+  // minmod-limited linear prolongation can overshoot a coarse cell's value
+  // by at most half the limited slope, which is bounded by the data range.
+  const double slack = 0.5 * (hi - lo) + 1e-12;
+  for (const auto& op : gx.ops()) {
+    ConstBlockView<D> v = std::as_const(store).view(op.dst);
+    for_each_cell<D>(op.dst_box, [&](IVec<D> q) {
+      ASSERT_GE(v.at(0, q), lo - slack);
+      ASSERT_LE(v.at(0, q), hi + slack);
+    });
+  }
+}
+
+class GhostProperty2D : public ::testing::TestWithParam<unsigned> {};
+class GhostProperty3D : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GhostProperty2D, ConstantExact) {
+  check_constant_exact<2>(GetParam(), false);
+}
+TEST_P(GhostProperty2D, ConstantExactPeriodic) {
+  check_constant_exact<2>(GetParam(), true);
+}
+TEST_P(GhostProperty2D, RangeBounded) {
+  check_range_bounded<2>(GetParam(), false);
+}
+TEST_P(GhostProperty3D, ConstantExact) {
+  check_constant_exact<3>(GetParam(), false);
+}
+TEST_P(GhostProperty3D, ConstantExactPeriodic) {
+  check_constant_exact<3>(GetParam(), true);
+}
+TEST_P(GhostProperty3D, RangeBounded) {
+  check_range_bounded<3>(GetParam(), false);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GhostProperty2D,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+INSTANTIATE_TEST_SUITE_P(Seeds, GhostProperty3D,
+                         ::testing::Values(11u, 22u, 33u));
+
+/// The plan itself never reads outside the source's valid data: replay
+/// each op's index arithmetic and check bounds.
+TEST(GhostPropertyPlan, SourceReadsStayInsideAllocations) {
+  for (unsigned seed : {3u, 17u, 99u}) {
+    Forest<2> f = random_forest<2>(seed, true);
+    BlockLayout<2> lay({6, 4}, 2, 1);
+    GhostExchanger<2> gx(f, lay);
+    const Box<2> ghosted = lay.ghosted_box();
+    const Box<2> interior = lay.interior_box();
+    for (const auto& op : gx.ops()) {
+      for_each_cell<2>(op.dst_box, [&](IVec<2> q) {
+        switch (op.kind) {
+          case GhostOpKind::SameCopy:
+            ASSERT_TRUE(interior.contains(q + op.a));
+            break;
+          case GhostOpKind::Restrict:
+            for (int mask = 0; mask < 4; ++mask) {
+              IVec<2> r = q.shifted_left(1) + op.a;
+              r[0] += mask & 1;
+              r[1] += (mask >> 1) & 1;
+              ASSERT_TRUE(interior.contains(r));
+            }
+            break;
+          case GhostOpKind::Prolong: {
+            IVec<2> gf = q + op.a;
+            IVec<2> cc{(gf[0] >> 1) - op.b[0], (gf[1] >> 1) - op.b[1]};
+            ASSERT_TRUE(interior.contains(cc));
+            // The stencil's valid box stays inside the allocation.
+            ASSERT_TRUE(ghosted.contains(op.valid));
+            break;
+          }
+        }
+      });
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ab

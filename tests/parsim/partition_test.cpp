@@ -1,0 +1,199 @@
+#include "parsim/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "parsim/workload.hpp"
+
+namespace ab {
+namespace {
+
+Forest<2> make_forest(int refined = 1) {
+  Forest<2>::Config cfg;
+  cfg.root_blocks = {4, 4};
+  cfg.max_level = 4;
+  Forest<2> f(cfg);
+  for (int i = 0; i < refined; ++i) f.refine(f.leaves()[i * 3]);
+  return f;
+}
+
+const std::vector<PartitionPolicy> kAll = {
+    PartitionPolicy::Morton, PartitionPolicy::Hilbert,
+    PartitionPolicy::RoundRobin, PartitionPolicy::GreedyLpt};
+
+class PartitionPolicyTest : public ::testing::TestWithParam<PartitionPolicy> {
+};
+
+TEST_P(PartitionPolicyTest, EveryLeafOwnedExactlyOnce) {
+  Forest<2> f = make_forest(2);
+  for (int npes : {1, 2, 3, 7, 16}) {
+    auto owner = partition_blocks<2>(f, npes, GetParam());
+    ASSERT_EQ(static_cast<int>(owner.size()), f.node_capacity());
+    for (int id : f.leaves()) {
+      ASSERT_GE(owner[id], 0);
+      ASSERT_LT(owner[id], npes);
+    }
+    // Non-leaves have no owner.
+    for (int id = 0; id < f.node_capacity(); ++id) {
+      if (!f.is_live(id) || !f.is_leaf(id)) {
+        EXPECT_EQ(owner[id], -1);
+      }
+    }
+  }
+}
+
+TEST_P(PartitionPolicyTest, UniformWeightsNearlyBalanced) {
+  Forest<2> f = make_forest(3);
+  const int npes = 5;
+  auto owner = partition_blocks<2>(f, npes, GetParam());
+  std::map<int, int> count;
+  for (int id : f.leaves()) ++count[owner[id]];
+  const int n = f.num_leaves();
+  for (auto [pe, c] : count) {
+    EXPECT_LE(c, (n + npes - 1) / npes + 1) << "PE " << pe << " overloaded";
+  }
+  // Imbalance metric is sane.
+  const double imb = load_imbalance(owner, npes);
+  EXPECT_GE(imb, 1.0);
+  EXPECT_LE(imb, 2.0);
+}
+
+TEST_P(PartitionPolicyTest, SinglePeOwnsEverything) {
+  Forest<2> f = make_forest(1);
+  auto owner = partition_blocks<2>(f, 1, GetParam());
+  for (int id : f.leaves()) EXPECT_EQ(owner[id], 0);
+  EXPECT_DOUBLE_EQ(load_imbalance(owner, 1), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PartitionPolicyTest,
+                         ::testing::ValuesIn(kAll));
+
+TEST(Partition, MortonChunksAreContiguousInCurveOrder) {
+  Forest<2> f = make_forest(2);
+  auto owner = partition_blocks<2>(f, 4, PartitionPolicy::Morton);
+  int prev = 0;
+  for (int id : f.leaves()) {  // leaves() is Morton order
+    EXPECT_GE(owner[id], prev);
+    prev = owner[id];
+  }
+}
+
+TEST(Partition, RoundRobinCycles) {
+  Forest<2> f = make_forest(0);
+  auto owner = partition_blocks<2>(f, 3, PartitionPolicy::RoundRobin);
+  const auto& leaves = f.leaves();
+  for (std::size_t i = 0; i < leaves.size(); ++i)
+    EXPECT_EQ(owner[leaves[i]], static_cast<int>(i % 3));
+}
+
+TEST(Partition, GreedyLptBalancesWeighted) {
+  Forest<2> f = make_forest(0);  // 16 uniform leaves
+  std::vector<double> w(16, 1.0);
+  w[0] = 8.0;  // one heavy block
+  auto owner = partition_blocks<2>(f, 4, PartitionPolicy::GreedyLpt, w);
+  // The heavy block's PE should get few other blocks.
+  std::vector<double> load(4, 0.0);
+  const auto& leaves = f.leaves();
+  for (std::size_t i = 0; i < leaves.size(); ++i)
+    load[owner[leaves[i]]] += w[i];
+  double mx = 0;
+  for (double l : load) mx = std::max(mx, l);
+  EXPECT_LE(mx, 9.0);  // near-optimal: 8 + at most 1
+}
+
+TEST(Partition, WeightedContiguousRespectsWeights) {
+  Forest<2> f = make_forest(0);
+  std::vector<double> w(16, 1.0);
+  for (int i = 0; i < 8; ++i) w[i] = 3.0;  // first half heavier
+  auto owner = partition_blocks<2>(f, 2, PartitionPolicy::Morton, w);
+  const auto& leaves = f.leaves();
+  double l0 = 0, l1 = 0;
+  for (std::size_t i = 0; i < leaves.size(); ++i)
+    (owner[leaves[i]] == 0 ? l0 : l1) += w[i];
+  EXPECT_NEAR(l0, l1, 4.0);  // within two heavy blocks of even
+}
+
+TEST(Partition, HilbertKeepsNeighborsTogether) {
+  // Space-filling-curve partitions put most face-adjacent blocks on the
+  // same PE; round-robin puts almost none. Compare cut edges.
+  Forest<2>::Config cfg;
+  cfg.root_blocks = {8, 8};
+  Forest<2> f(cfg);
+  auto cut_edges = [&](const std::vector<int>& owner) {
+    int cut = 0;
+    for (int id : f.leaves())
+      for (int dim = 0; dim < 2; ++dim)
+        for (int nb : f.face_neighbor_leaves(id, dim, 1))
+          if (owner[id] != owner[nb]) ++cut;
+    return cut;
+  };
+  const int npes = 8;
+  const int cut_h =
+      cut_edges(partition_blocks<2>(f, npes, PartitionPolicy::Hilbert));
+  const int cut_rr =
+      cut_edges(partition_blocks<2>(f, npes, PartitionPolicy::RoundRobin));
+  EXPECT_LT(cut_h, cut_rr / 2);
+}
+
+TEST(Partition, RejectsBadArguments) {
+  Forest<2> f = make_forest(0);
+  EXPECT_THROW(partition_blocks<2>(f, 0, PartitionPolicy::Morton), Error);
+  std::vector<double> w(3, 1.0);  // wrong size
+  EXPECT_THROW(partition_blocks<2>(f, 2, PartitionPolicy::Morton, w), Error);
+}
+
+TEST(Workload, RefineUntilHitsTarget) {
+  Forest<3>::Config cfg;
+  cfg.root_blocks = {2, 2, 2};
+  cfg.max_level = 5;
+  cfg.domain_lo = {-1.0, -1.0, -1.0};
+  cfg.domain_hi = {1.0, 1.0, 1.0};
+  Forest<3> f(cfg);
+  const int n = build_solar_wind_forest<3>(f, RVec<3>(0.0), 0.2, 0.6, 0.1,
+                                           200);
+  EXPECT_GE(n, 200);
+  EXPECT_EQ(n, f.num_leaves());
+  // Deterministic: rebuilding gives the same forest.
+  Forest<3> g(cfg);
+  build_solar_wind_forest<3>(g, RVec<3>(0.0), 0.2, 0.6, 0.1, 200);
+  EXPECT_EQ(g.num_leaves(), f.num_leaves());
+  EXPECT_EQ(g.stats().max_level, f.stats().max_level);
+}
+
+TEST(Workload, RefinementConcentratesOnShell) {
+  Forest<3>::Config cfg;
+  cfg.root_blocks = {2, 2, 2};
+  cfg.max_level = 5;
+  cfg.domain_lo = {-1.0, -1.0, -1.0};
+  cfg.domain_hi = {1.0, 1.0, 1.0};
+  Forest<3> f(cfg);
+  build_solar_wind_forest<3>(f, RVec<3>(0.0), 0.15, 0.6, 0.08, 300);
+  // Fine blocks are near the shell or center; coarse blocks far away.
+  const int lmax = f.stats().max_level;
+  ASSERT_GT(lmax, 0);
+  for (int id : f.leaves()) {
+    if (f.level(id) != lmax) continue;
+    auto [dmin, dmax] =
+        box_distance_range<3>(f.block_lo(id), f.block_hi(id), RVec<3>(0.0));
+    const bool near_feature =
+        dmin <= 0.15 + 0.3 || (dmin <= 0.7 + 0.3 && dmax >= 0.5 - 0.3);
+    EXPECT_TRUE(near_feature);
+  }
+}
+
+TEST(Workload, BoxDistanceRange) {
+  auto [dmin, dmax] = box_distance_range<2>({1.0, 0.0}, {2.0, 1.0},
+                                            RVec<2>(0.0));
+  EXPECT_DOUBLE_EQ(dmin, 1.0);
+  EXPECT_DOUBLE_EQ(dmax, std::sqrt(5.0));
+  // Center inside the box.
+  auto [d2min, d2max] = box_distance_range<2>({-1.0, -1.0}, {1.0, 1.0},
+                                              RVec<2>(0.0));
+  EXPECT_DOUBLE_EQ(d2min, 0.0);
+  EXPECT_DOUBLE_EQ(d2max, std::sqrt(2.0));
+}
+
+}  // namespace
+}  // namespace ab

@@ -1,0 +1,150 @@
+#include "parsim/simulate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "parsim/partition.hpp"
+#include "parsim/workload.hpp"
+
+namespace ab {
+namespace {
+
+struct Fixture {
+  Forest<2>::Config cfg;
+  Forest<2> forest;
+  BlockLayout<2> lay;
+  GhostExchanger<2> gx;
+
+  Fixture() : cfg(make_cfg()), forest(cfg), lay({4, 4}, 2, 2),
+              gx(forest, lay) {}
+  static Forest<2>::Config make_cfg() {
+    Forest<2>::Config c;
+    c.root_blocks = {4, 4};
+    c.periodic = {true, true};
+    return c;
+  }
+};
+
+TEST(Simulate, SinglePeMatchesSerialTime) {
+  Fixture fx;
+  auto owner = partition_blocks<2>(fx.forest, 1, PartitionPolicy::Morton);
+  MachineModel m = MachineModel::cray_t3d();
+  auto cost = simulate_step<2>(fx.gx, owner, 1, m,
+                               [](int) { return std::uint64_t{1000}; });
+  EXPECT_DOUBLE_EQ(cost.t_step, cost.t_serial);
+  EXPECT_DOUBLE_EQ(cost.speedup, 1.0);
+  EXPECT_DOUBLE_EQ(cost.efficiency, 1.0);
+  EXPECT_EQ(cost.remote_bytes, 0);
+  EXPECT_EQ(cost.messages, 0);
+  EXPECT_GT(cost.local_bytes, 0);
+  EXPECT_EQ(cost.total_flops, 16000u);
+}
+
+TEST(Simulate, HandComputedTwoPeCase) {
+  // 4x4 periodic roots split into two halves by Morton order. Verify the
+  // compute side exactly and the comm bookkeeping structurally.
+  Fixture fx;
+  auto owner = partition_blocks<2>(fx.forest, 2, PartitionPolicy::Morton);
+  MachineModel m;
+  m.flops_per_sec = 1e6;
+  m.latency_sec = 1e-5;
+  m.bytes_per_sec = 1e8;
+  m.local_bytes_per_sec = 1e9;
+  const std::uint64_t per_block = 5000;
+  auto cost = simulate_step<2>(fx.gx, owner, 2, m,
+                               [&](int) { return per_block; });
+  // 8 blocks per PE -> compute = 8*5000/1e6 = 0.04 s on each PE.
+  EXPECT_DOUBLE_EQ(cost.max_compute, 0.04);
+  EXPECT_GT(cost.max_comm, 0.0);
+  EXPECT_GT(cost.remote_bytes, 0);
+  EXPECT_GT(cost.local_bytes, 0);
+  // Total ghost traffic = all ops (16 blocks * 4 faces * 2 ghost layers *
+  // 4 cells * 2 vars * 8 bytes).
+  EXPECT_EQ(cost.remote_bytes + cost.local_bytes,
+            16LL * 4 * (2 * 4) * 2 * 8);
+  EXPECT_DOUBLE_EQ(cost.t_step, cost.max_compute + cost.max_comm);
+  EXPECT_LT(cost.efficiency, 1.0);
+  EXPECT_GT(cost.efficiency, 0.5);
+}
+
+TEST(Simulate, PerFaceOpCountsMoreMessages) {
+  Fixture fx;
+  auto owner = partition_blocks<2>(fx.forest, 4, PartitionPolicy::Morton);
+  MachineModel m;
+  auto per_pair = simulate_step<2>(
+      fx.gx, owner, 4, m, [](int) { return std::uint64_t{1000}; },
+      MessageAggregation::PerPePair);
+  auto per_face = simulate_step<2>(
+      fx.gx, owner, 4, m, [](int) { return std::uint64_t{1000}; },
+      MessageAggregation::PerFaceOp);
+  EXPECT_GT(per_face.messages, per_pair.messages);
+  EXPECT_EQ(per_face.remote_bytes, per_pair.remote_bytes);
+  EXPECT_GE(per_face.max_comm, per_pair.max_comm);
+}
+
+TEST(Simulate, EfficiencyDegradesWithLatencyBoundMachine) {
+  Fixture fx;
+  auto owner = partition_blocks<2>(fx.forest, 8, PartitionPolicy::Morton);
+  MachineModel fast_net;
+  fast_net.latency_sec = 1e-7;
+  MachineModel slow_net;
+  slow_net.latency_sec = 1e-2;
+  auto f = simulate_step<2>(fx.gx, owner, 8, fast_net,
+                            [](int) { return std::uint64_t{100000}; });
+  auto s = simulate_step<2>(fx.gx, owner, 8, slow_net,
+                            [](int) { return std::uint64_t{100000}; });
+  EXPECT_GT(f.efficiency, s.efficiency);
+}
+
+TEST(Simulate, LocalityPartitionBeatsRoundRobin) {
+  // The paper's point about communication amortization only pays off if
+  // neighbors stay on-PE; round-robin destroys that.
+  Forest<2>::Config cfg;
+  cfg.root_blocks = {8, 8};
+  cfg.periodic = {true, true};
+  Forest<2> forest(cfg);
+  BlockLayout<2> lay({8, 8}, 2, 8);
+  GhostExchanger<2> gx(forest, lay);
+  MachineModel m;
+  auto flops = [](int) { return std::uint64_t{500000}; };
+  auto morton = simulate_step<2>(
+      gx, partition_blocks<2>(forest, 8, PartitionPolicy::Morton), 8, m,
+      flops);
+  auto rr = simulate_step<2>(
+      gx, partition_blocks<2>(forest, 8, PartitionPolicy::RoundRobin), 8, m,
+      flops);
+  EXPECT_GT(morton.efficiency, rr.efficiency);
+  EXPECT_LT(morton.remote_bytes, rr.remote_bytes);
+}
+
+TEST(Simulate, GflopsBoundedByMachinePeak) {
+  Fixture fx;
+  const int npes = 4;
+  auto owner = partition_blocks<2>(fx.forest, npes, PartitionPolicy::Morton);
+  MachineModel m;
+  auto cost = simulate_step<2>(fx.gx, owner, npes, m,
+                               [](int) { return std::uint64_t{200000}; });
+  EXPECT_GT(cost.gflops, 0.0);
+  EXPECT_LE(cost.gflops, npes * m.flops_per_sec / 1e9 + 1e-12);
+}
+
+TEST(Simulate, IdlePesHurtEfficiency) {
+  // More PEs than blocks: some PEs idle, efficiency ~ nblocks/npes at best.
+  Fixture fx;  // 16 blocks
+  auto owner = partition_blocks<2>(fx.forest, 32, PartitionPolicy::Morton);
+  MachineModel m;
+  auto cost = simulate_step<2>(fx.gx, owner, 32, m,
+                               [](int) { return std::uint64_t{100000}; });
+  EXPECT_LT(cost.efficiency, 0.6);
+}
+
+TEST(Simulate, RequiresOwnedLeaves) {
+  Fixture fx;
+  std::vector<int> owner(fx.forest.node_capacity(), -1);
+  MachineModel m;
+  EXPECT_THROW(simulate_step<2>(fx.gx, owner, 2, m,
+                                [](int) { return std::uint64_t{1}; }),
+               Error);
+}
+
+}  // namespace
+}  // namespace ab

@@ -1,0 +1,104 @@
+#include "physics/riemann_exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace ab {
+namespace {
+
+TEST(ExactRiemann, SodStarValues) {
+  // Toro, Table 4.1, Test 1 (Sod): p* = 0.30313, u* = 0.92745.
+  ExactRiemann rs({1.0, 0.0, 1.0}, {0.125, 0.0, 0.1});
+  EXPECT_NEAR(rs.p_star(), 0.30313, 2e-5);
+  EXPECT_NEAR(rs.u_star(), 0.92745, 2e-5);
+}
+
+TEST(ExactRiemann, Toro123Problem) {
+  // Toro Test 2 (123 problem, double rarefaction): p* = 0.00189,
+  // u* = 0 by symmetry.
+  ExactRiemann rs({1.0, -2.0, 0.4}, {1.0, 2.0, 0.4});
+  EXPECT_NEAR(rs.p_star(), 0.00189, 5e-5);
+  EXPECT_NEAR(rs.u_star(), 0.0, 1e-10);
+}
+
+TEST(ExactRiemann, StrongShockTest3) {
+  // Toro Test 3: left p=1000, right p=0.01: p* = 460.894, u* = 19.5975.
+  ExactRiemann rs({1.0, 0.0, 1000.0}, {1.0, 0.0, 0.01});
+  EXPECT_NEAR(rs.p_star(), 460.894, 0.01);
+  EXPECT_NEAR(rs.u_star(), 19.5975, 1e-3);
+}
+
+TEST(ExactRiemann, TrivialProblemIsConstant) {
+  RiemannState s{1.4, 2.5, 3.0};
+  ExactRiemann rs(s, s);
+  EXPECT_NEAR(rs.p_star(), 3.0, 1e-10);
+  EXPECT_NEAR(rs.u_star(), 2.5, 1e-10);
+  for (double xi : {-10.0, 0.0, 2.5, 10.0}) {
+    auto q = rs.sample(xi);
+    EXPECT_NEAR(q.rho, 1.4, 1e-9);
+    EXPECT_NEAR(q.u, 2.5, 1e-9);
+    EXPECT_NEAR(q.p, 3.0, 1e-9);
+  }
+}
+
+TEST(ExactRiemann, SampleFarFieldRecoversInputs) {
+  ExactRiemann rs({1.0, 0.0, 1.0}, {0.125, 0.0, 0.1});
+  auto l = rs.sample(-100.0);
+  EXPECT_DOUBLE_EQ(l.rho, 1.0);
+  EXPECT_DOUBLE_EQ(l.p, 1.0);
+  auto r = rs.sample(100.0);
+  EXPECT_DOUBLE_EQ(r.rho, 0.125);
+  EXPECT_DOUBLE_EQ(r.p, 0.1);
+}
+
+TEST(ExactRiemann, SodStructureAcrossWaves) {
+  ExactRiemann rs({1.0, 0.0, 1.0}, {0.125, 0.0, 0.1});
+  // Between the contact (u* ~ 0.927) and the shock (~1.752): star-right.
+  auto q = rs.sample(1.3);
+  EXPECT_NEAR(q.p, rs.p_star(), 1e-9);
+  EXPECT_NEAR(q.u, rs.u_star(), 1e-9);
+  EXPECT_NEAR(q.rho, 0.26557, 1e-4);  // shocked right density (Toro)
+  // Left of the contact, inside the star: higher density.
+  auto ql = rs.sample(0.5);
+  EXPECT_NEAR(ql.p, rs.p_star(), 1e-9);
+  EXPECT_NEAR(ql.rho, 0.42632, 1e-4);
+  // Inside the rarefaction fan the solution varies smoothly.
+  auto f1 = rs.sample(-1.0), f2 = rs.sample(-0.5);
+  EXPECT_GT(f1.rho, f2.rho);
+  EXPECT_LT(f1.u, f2.u);
+}
+
+TEST(ExactRiemann, PressurePositiveEverywhere) {
+  ExactRiemann rs({1.0, 0.75, 1.0}, {0.125, 0.0, 0.1});
+  for (double xi = -3.0; xi <= 3.0; xi += 0.05) {
+    auto q = rs.sample(xi);
+    EXPECT_GT(q.p, 0.0);
+    EXPECT_GT(q.rho, 0.0);
+  }
+}
+
+TEST(ExactRiemann, RejectsVacuumGeneratingData) {
+  EXPECT_THROW(ExactRiemann({1.0, -20.0, 0.4}, {1.0, 20.0, 0.4}), Error);
+}
+
+TEST(ExactRiemann, RejectsNonPositiveInputs) {
+  EXPECT_THROW(ExactRiemann({-1.0, 0.0, 1.0}, {1.0, 0.0, 1.0}), Error);
+  EXPECT_THROW(ExactRiemann({1.0, 0.0, 0.0}, {1.0, 0.0, 1.0}), Error);
+}
+
+TEST(ExactRiemann, MirrorSymmetry) {
+  // Swapping left/right and negating velocities mirrors the solution.
+  ExactRiemann a({1.0, 0.3, 1.0}, {0.5, -0.2, 0.4});
+  ExactRiemann b({0.5, 0.2, 0.4}, {1.0, -0.3, 1.0});
+  EXPECT_NEAR(a.p_star(), b.p_star(), 1e-10);
+  EXPECT_NEAR(a.u_star(), -b.u_star(), 1e-10);
+  auto qa = a.sample(0.7);
+  auto qb = b.sample(-0.7);
+  EXPECT_NEAR(qa.rho, qb.rho, 1e-9);
+  EXPECT_NEAR(qa.u, -qb.u, 1e-9);
+  EXPECT_NEAR(qa.p, qb.p, 1e-9);
+}
+
+}  // namespace
+}  // namespace ab

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "amr/solver.hpp"
+#include "physics/advection.hpp"
+#include "physics/euler.hpp"
+#include "physics/kernel.hpp"
+#include "physics/riemann_exact.hpp"
+#include "util/aligned.hpp"
+
+namespace ab {
+namespace {
+
+TEST(RoeFlux, ConsistencyWithEqualStates) {
+  Euler<2> phys;
+  auto u = phys.from_primitive(1.3, {0.7, -0.4}, 2.1);
+  Euler<2>::State roe, exact;
+  phys.roe_flux(u, u, 0, roe);
+  phys.flux(u, 0, exact);
+  for (int k = 0; k < 4; ++k) EXPECT_NEAR(roe[k], exact[k], 1e-12);
+}
+
+TEST(RoeFlux, ResolvesStationaryContactExactly) {
+  // The defining advantage over Rusanov/HLL: a stationary contact (equal
+  // pressure and velocity, jumped density) produces zero mass diffusion.
+  Euler<2> phys;
+  auto uL = phys.from_primitive(1.0, {0.0, 0.0}, 1.0);
+  auto uR = phys.from_primitive(0.125, {0.0, 0.0}, 1.0);
+  Euler<2>::State roe;
+  phys.roe_flux(uL, uR, 0, roe);
+  EXPECT_NEAR(roe[0], 0.0, 1e-13);  // no mass flux
+  EXPECT_NEAR(roe[1], 1.0, 1e-13);  // pure pressure
+  EXPECT_NEAR(roe[2], 0.0, 1e-13);
+  EXPECT_NEAR(roe[3], 0.0, 1e-13);  // no energy flux
+  // Rusanov diffuses the same contact.
+  Euler<2>::State rus;
+  detail::numerical_flux<Euler<2>>(phys, FluxScheme::Rusanov, uL, uR, 0, rus);
+  EXPECT_GT(std::fabs(rus[0]), 0.1);
+}
+
+TEST(RoeFlux, SupersonicFlowUpwindsCompletely) {
+  Euler<2> phys;
+  auto uL = phys.from_primitive(1.0, {5.0, 0.3}, 1.0);  // Mach ~4.2
+  auto uR = phys.from_primitive(0.7, {5.5, -0.1}, 0.8);
+  Euler<2>::State roe, fl;
+  phys.roe_flux(uL, uR, 0, roe);
+  phys.flux(uL, 0, fl);
+  for (int k = 0; k < 4; ++k) EXPECT_NEAR(roe[k], fl[k], 1e-10);
+  // And the mirrored case takes the right flux.
+  auto wL = phys.from_primitive(1.0, {-5.0, 0.0}, 1.0);
+  auto wR = phys.from_primitive(0.7, {-5.5, 0.0}, 0.8);
+  Euler<2>::State roe2, fr;
+  phys.roe_flux(wL, wR, 0, roe2);
+  phys.flux(wR, 0, fr);
+  for (int k = 0; k < 4; ++k) EXPECT_NEAR(roe2[k], fr[k], 1e-10);
+}
+
+TEST(RoeFlux, ShearWaveCarriedExactly) {
+  // Tangential velocity jump at equal rho/p/vn: a pure shear wave moving
+  // with vn; at vn = 0 the interface flux carries no tangential momentum.
+  Euler<2> phys;
+  auto uL = phys.from_primitive(1.0, {0.0, 1.0}, 1.0);
+  auto uR = phys.from_primitive(1.0, {0.0, -1.0}, 1.0);
+  Euler<2>::State roe;
+  phys.roe_flux(uL, uR, 0, roe);
+  EXPECT_NEAR(roe[0], 0.0, 1e-13);
+  EXPECT_NEAR(roe[2], 0.0, 1e-13);  // tangential momentum flux vanishes
+}
+
+TEST(RoeFlux, WorksInThreeDimensions) {
+  Euler<3> phys;
+  auto uL = phys.from_primitive(1.0, {0.2, 0.4, -0.6}, 1.5);
+  auto uR = phys.from_primitive(0.8, {0.1, -0.3, 0.5}, 1.1);
+  for (int dir = 0; dir < 3; ++dir) {
+    Euler<3>::State roe;
+    phys.roe_flux(uL, uR, dir, roe);
+    for (int k = 0; k < 5; ++k) EXPECT_TRUE(std::isfinite(roe[k]));
+  }
+  // Symmetry: swapping states and negating the normal axis mirrors the
+  // mass flux. (Checked via the x direction with reflected velocities.)
+  auto mL = uL, mR = uR;
+  mL[1] = -mL[1];
+  mR[1] = -mR[1];
+  Euler<3>::State f1, f2;
+  phys.roe_flux(uL, uR, 0, f1);
+  phys.roe_flux(mR, mL, 0, f2);
+  EXPECT_NEAR(f1[0], -f2[0], 1e-12);
+}
+
+TEST(RoeFlux, SodAccuracyAtLeastMatchesHll) {
+  Euler<2> phys;
+  auto run = [&](FluxScheme scheme) {
+    AmrSolver<2, Euler<2>>::Config cfg;
+    cfg.forest.root_blocks = {8, 1};
+    cfg.forest.domain_hi = {1.0, 0.125};
+    cfg.cells_per_block = {8, 8};
+    cfg.flux = scheme;
+    AmrSolver<2, Euler<2>> solver(cfg, phys);
+    solver.init([&](const RVec<2>& x, Euler<2>::State& s) {
+      s = x[0] < 0.5 ? phys.from_primitive(1.0, {0.0, 0.0}, 1.0)
+                     : phys.from_primitive(0.125, {0.0, 0.0}, 0.1);
+    });
+    const double t_end = 0.2;
+    solver.advance_to(t_end);
+    ExactRiemann exact({1.0, 0.0, 1.0}, {0.125, 0.0, 0.1});
+    double err = 0.0;
+    std::int64_t n = 0;
+    for (int id : solver.forest().leaves()) {
+      ConstBlockView<2> v = solver.store().view(id);
+      for_each_cell<2>(solver.store().layout().interior_box(),
+                       [&](IVec<2> p) {
+                         const RVec<2> x = solver.cell_center(id, p);
+                         err += std::fabs(
+                             v.at(0, p) -
+                             exact.sample((x[0] - 0.5) / t_end).rho);
+                         ++n;
+                       });
+    }
+    return err / n;
+  };
+  const double e_roe = run(FluxScheme::Roe);
+  const double e_hll = run(FluxScheme::Hll);
+  const double e_rus = run(FluxScheme::Rusanov);
+  EXPECT_LT(e_roe, 1.05 * e_hll);
+  EXPECT_LT(e_roe, e_rus);
+}
+
+TEST(RoeFlux, SchemeRejectedForPhysicsWithoutRoe) {
+  LinearAdvection<2> phys;
+  phys.velocity = {1.0, 0.0};
+  BlockLayout<2> lay({4, 4}, 2, 1);
+  AlignedBuffer uin(lay.block_doubles()), uout(lay.block_doubles());
+  EXPECT_THROW((fv_block_update<2, LinearAdvection<2>>(
+                   lay, uin.data(), uout.data(), phys, {1.0, 1.0}, 0.1,
+                   SpatialOrder::First, LimiterKind::MinMod,
+                   FluxScheme::Roe)),
+               Error);
+}
+
+}  // namespace
+}  // namespace ab

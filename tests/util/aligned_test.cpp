@@ -1,0 +1,73 @@
+#include "util/aligned.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+namespace ab {
+namespace {
+
+TEST(AlignedBuffer, DefaultIsEmpty) {
+  AlignedBuffer b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.data(), nullptr);
+}
+
+TEST(AlignedBuffer, AllocatesZeroed) {
+  AlignedBuffer b(100);
+  ASSERT_EQ(b.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(b[i], 0.0);
+}
+
+TEST(AlignedBuffer, SixtyFourByteAligned) {
+  for (std::size_t n : {1u, 7u, 64u, 1000u}) {
+    AlignedBuffer b(n);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % 64, 0u);
+  }
+}
+
+TEST(AlignedBuffer, ReadWrite) {
+  AlignedBuffer b(10);
+  b[3] = 2.5;
+  EXPECT_EQ(b[3], 2.5);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer a(8);
+  a[0] = 1.0;
+  double* p = a.data();
+  AlignedBuffer b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b[0], 1.0);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(AlignedBuffer, MoveAssignReleasesOld) {
+  AlignedBuffer a(8), b(16);
+  b = std::move(a);
+  EXPECT_EQ(b.size(), 8u);
+}
+
+TEST(AlignedBuffer, ReallocateReplacesContents) {
+  AlignedBuffer b(4);
+  b[0] = 9.0;
+  b.allocate(6);
+  EXPECT_EQ(b.size(), 6u);
+  EXPECT_EQ(b[0], 0.0);
+}
+
+TEST(AlignedBuffer, ReleaseEmpties) {
+  AlignedBuffer b(4);
+  b.release();
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(AlignedBuffer, ZeroSizeAllocation) {
+  AlignedBuffer b(0);
+  EXPECT_TRUE(b.empty());
+}
+
+}  // namespace
+}  // namespace ab

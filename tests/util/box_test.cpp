@@ -1,0 +1,117 @@
+#include "util/box.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace ab {
+namespace {
+
+TEST(Box, ExtentAndVolume) {
+  Box<2> b({1, 2}, {4, 6});
+  EXPECT_EQ(b.extent(), (IVec<2>{3, 4}));
+  EXPECT_EQ(b.volume(), 12);
+  EXPECT_FALSE(b.empty());
+}
+
+TEST(Box, EmptyWhenDegenerate) {
+  Box<2> b({3, 3}, {3, 5});
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.volume(), 0);
+}
+
+TEST(Box, FromExtent) {
+  Box<3> b = Box<3>::from_extent({2, 3, 4});
+  EXPECT_EQ(b.lo, (IVec<3>{0, 0, 0}));
+  EXPECT_EQ(b.volume(), 24);
+}
+
+TEST(Box, ContainsPoint) {
+  Box<2> b({0, 0}, {2, 2});
+  EXPECT_TRUE(b.contains(IVec<2>{0, 0}));
+  EXPECT_TRUE(b.contains(IVec<2>{1, 1}));
+  EXPECT_FALSE(b.contains(IVec<2>{2, 1}));
+  EXPECT_FALSE(b.contains(IVec<2>{-1, 0}));
+}
+
+TEST(Box, ContainsBox) {
+  Box<2> outer({0, 0}, {4, 4});
+  EXPECT_TRUE(outer.contains(Box<2>({1, 1}, {3, 3})));
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_FALSE(outer.contains(Box<2>({1, 1}, {5, 3})));
+  // Empty boxes are contained everywhere.
+  EXPECT_TRUE(outer.contains(Box<2>({9, 9}, {9, 9})));
+}
+
+TEST(Box, Intersect) {
+  Box<2> a({0, 0}, {4, 4}), b({2, 1}, {6, 3});
+  Box<2> i = intersect(a, b);
+  EXPECT_EQ(i, (Box<2>({2, 1}, {4, 3})));
+  Box<2> disjoint({10, 10}, {12, 12});
+  EXPECT_TRUE(intersect(a, disjoint).empty());
+}
+
+TEST(Box, ShiftGrow) {
+  Box<2> b({0, 0}, {2, 2});
+  EXPECT_EQ(b.shifted({1, -1}), (Box<2>({1, -1}, {3, 1})));
+  EXPECT_EQ(b.grown(1), (Box<2>({-1, -1}, {3, 3})));
+  EXPECT_EQ(b.grown(0, 2), (Box<2>({-2, 0}, {4, 2})));
+}
+
+TEST(Box, FaceGhostSlab) {
+  Box<2> b = Box<2>::from_extent({4, 6});
+  // Low x face, 2 ghost layers.
+  EXPECT_EQ(b.face_ghost_slab(0, 0, 2), (Box<2>({-2, 0}, {0, 6})));
+  // High y face, 1 layer.
+  EXPECT_EQ(b.face_ghost_slab(1, 1, 1), (Box<2>({0, 6}, {4, 7})));
+}
+
+TEST(Box, FaceInteriorSlab) {
+  Box<2> b = Box<2>::from_extent({4, 6});
+  EXPECT_EQ(b.face_interior_slab(0, 0, 2), (Box<2>({0, 0}, {2, 6})));
+  EXPECT_EQ(b.face_interior_slab(1, 1, 1), (Box<2>({0, 5}, {4, 6})));
+}
+
+TEST(Box, CoarsenRefine) {
+  Box<2> b({2, 3}, {6, 5});
+  EXPECT_EQ(b.refined(), (Box<2>({4, 6}, {12, 10})));
+  EXPECT_EQ(b.coarsened(), (Box<2>({1, 1}, {3, 3})));
+  // Coarsening covers every touched coarse cell: [3,5) -> [1,3).
+  Box<2> odd({3, 3}, {5, 5});
+  EXPECT_EQ(odd.coarsened(), (Box<2>({1, 1}, {3, 3})));
+}
+
+TEST(ForEachCell, VisitsAllOnceInOrder) {
+  Box<2> b({1, 2}, {3, 5});
+  std::vector<IVec<2>> visited;
+  for_each_cell<2>(b, [&](IVec<2> p) { visited.push_back(p); });
+  ASSERT_EQ(visited.size(), 6u);
+  // Dimension 0 fastest.
+  EXPECT_EQ(visited[0], (IVec<2>{1, 2}));
+  EXPECT_EQ(visited[1], (IVec<2>{2, 2}));
+  EXPECT_EQ(visited[2], (IVec<2>{1, 3}));
+  std::set<std::pair<int, int>> uniq;
+  for (auto p : visited) uniq.emplace(p[0], p[1]);
+  EXPECT_EQ(uniq.size(), 6u);
+}
+
+TEST(ForEachCell, EmptyBoxNoVisit) {
+  int count = 0;
+  for_each_cell<3>(Box<3>({0, 0, 0}, {0, 3, 3}), [&](IVec<3>) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(ForEachCell, OneDimension) {
+  int count = 0;
+  int last = -100;
+  for_each_cell<1>(Box<1>({IVec<1>{-2}}, {IVec<1>{3}}), [&](IVec<1> p) {
+    EXPECT_GT(p[0], last);
+    last = p[0];
+    ++count;
+  });
+  EXPECT_EQ(count, 5);
+}
+
+}  // namespace
+}  // namespace ab

@@ -1,0 +1,86 @@
+#include "util/hilbert.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+namespace ab {
+namespace {
+
+TEST(Hilbert, RoundTrip2D) {
+  const int bits = 4;
+  for (int x = 0; x < 16; ++x)
+    for (int y = 0; y < 16; ++y) {
+      IVec<2> p{x, y};
+      EXPECT_EQ(hilbert_point<2>(hilbert_index<2>(p, bits), bits), p);
+    }
+}
+
+TEST(Hilbert, RoundTrip3D) {
+  const int bits = 3;
+  for (int x = 0; x < 8; ++x)
+    for (int y = 0; y < 8; ++y)
+      for (int z = 0; z < 8; ++z) {
+        IVec<3> p{x, y, z};
+        EXPECT_EQ(hilbert_point<3>(hilbert_index<3>(p, bits), bits), p);
+      }
+}
+
+TEST(Hilbert, IsBijective2D) {
+  const int bits = 3;
+  std::set<std::uint64_t> seen;
+  for (int x = 0; x < 8; ++x)
+    for (int y = 0; y < 8; ++y) {
+      auto h = hilbert_index<2>({x, y}, bits);
+      EXPECT_LT(h, 64u);
+      seen.insert(h);
+    }
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(Hilbert, CurveIsContinuous2D) {
+  // Consecutive indices are unit-distance neighbors — the defining property
+  // that gives Hilbert partitions their locality.
+  const int bits = 5;
+  const std::uint64_t n = 1ull << (2 * bits);
+  IVec<2> prev = hilbert_point<2>(0, bits);
+  for (std::uint64_t h = 1; h < n; ++h) {
+    IVec<2> p = hilbert_point<2>(h, bits);
+    const int dist = std::abs(p[0] - prev[0]) + std::abs(p[1] - prev[1]);
+    ASSERT_EQ(dist, 1) << "discontinuity at index " << h;
+    prev = p;
+  }
+}
+
+TEST(Hilbert, CurveIsContinuous3D) {
+  const int bits = 3;
+  const std::uint64_t n = 1ull << (3 * bits);
+  IVec<3> prev = hilbert_point<3>(0, bits);
+  for (std::uint64_t h = 1; h < n; ++h) {
+    IVec<3> p = hilbert_point<3>(h, bits);
+    const int dist = std::abs(p[0] - prev[0]) + std::abs(p[1] - prev[1]) +
+                     std::abs(p[2] - prev[2]);
+    ASSERT_EQ(dist, 1) << "discontinuity at index " << h;
+    prev = p;
+  }
+}
+
+TEST(Hilbert, OneDimensionalIsIdentity) {
+  IVec<1> p;
+  p[0] = 37;
+  EXPECT_EQ(hilbert_index<1>(p, 8), 37u);
+  EXPECT_EQ(hilbert_point<1>(37u, 8)[0], 37);
+}
+
+TEST(Hilbert, RejectsOutOfRange) {
+  EXPECT_THROW(hilbert_index<2>({16, 0}, 4), Error);
+  EXPECT_THROW(hilbert_index<3>({0, 0, 0}, 0), Error);
+  EXPECT_THROW(hilbert_index<3>({0, 0, 0}, 22), Error);
+}
+
+}  // namespace
+}  // namespace ab

@@ -1,0 +1,91 @@
+#include "util/morton.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace ab {
+namespace {
+
+TEST(Morton, SpreadCompactRoundTrip3) {
+  for (std::uint32_t x : {0u, 1u, 2u, 255u, 1023u, 0x1fffffu}) {
+    EXPECT_EQ(morton_compact3(morton_spread3(x)), x);
+  }
+}
+
+TEST(Morton, SpreadCompactRoundTrip2) {
+  for (std::uint32_t x : {0u, 1u, 7u, 65535u, 0xffffffffu}) {
+    EXPECT_EQ(morton_compact2(morton_spread2(x)), x);
+  }
+}
+
+TEST(Morton, Encode2Known) {
+  // Interleaved bits: (x=1, y=0) -> 1; (x=0, y=1) -> 2; (x=1,y=1) -> 3.
+  EXPECT_EQ(morton_encode<2>({0, 0}), 0u);
+  EXPECT_EQ(morton_encode<2>({1, 0}), 1u);
+  EXPECT_EQ(morton_encode<2>({0, 1}), 2u);
+  EXPECT_EQ(morton_encode<2>({1, 1}), 3u);
+  EXPECT_EQ(morton_encode<2>({2, 0}), 4u);
+  EXPECT_EQ(morton_encode<2>({0, 2}), 8u);
+}
+
+TEST(Morton, Encode3Known) {
+  EXPECT_EQ(morton_encode<3>({1, 0, 0}), 1u);
+  EXPECT_EQ(morton_encode<3>({0, 1, 0}), 2u);
+  EXPECT_EQ(morton_encode<3>({0, 0, 1}), 4u);
+  EXPECT_EQ(morton_encode<3>({1, 1, 1}), 7u);
+  EXPECT_EQ(morton_encode<3>({2, 2, 2}), 56u);
+}
+
+TEST(Morton, RoundTrip2) {
+  for (int x = 0; x < 17; ++x)
+    for (int y = 0; y < 17; ++y) {
+      IVec<2> p{x, y};
+      EXPECT_EQ(morton_decode<2>(morton_encode<2>(p)), p);
+    }
+}
+
+TEST(Morton, RoundTrip3) {
+  for (int x = 0; x < 9; ++x)
+    for (int y = 0; y < 9; ++y)
+      for (int z = 0; z < 9; ++z) {
+        IVec<3> p{x, y, z};
+        EXPECT_EQ(morton_decode<3>(morton_encode<3>(p)), p);
+      }
+}
+
+TEST(Morton, OneDimensionalIsIdentity) {
+  IVec<1> p;
+  p[0] = 12345;
+  EXPECT_EQ(morton_encode<1>(p), 12345u);
+  EXPECT_EQ(morton_decode<1>(12345u)[0], 12345);
+}
+
+TEST(Morton, OrderIsHierarchical) {
+  // All cells of a quadrant sort contiguously: quadrant (0,0) of a 4x4 grid
+  // occupies Morton codes 0..3.
+  std::vector<std::uint64_t> q;
+  for (int x = 0; x < 2; ++x)
+    for (int y = 0; y < 2; ++y) q.push_back(morton_encode<2>({x, y}));
+  std::sort(q.begin(), q.end());
+  EXPECT_EQ(q.back(), 3u);
+}
+
+TEST(Morton, GlobalKeyParentSortsBeforeDescendants) {
+  // Parent at level 1, coords (1,0); its children at level 2 are
+  // (2,0),(3,0),(2,1),(3,1). With promotion to max_level, the parent key
+  // equals its first child's key, and all other children sort after.
+  const int ml = 4;
+  std::uint64_t kp = morton_key_global<2>(1, {1, 0}, ml);
+  std::uint64_t k0 = morton_key_global<2>(2, {2, 0}, ml);
+  EXPECT_EQ(kp, k0);
+  EXPECT_LT(kp, morton_key_global<2>(2, {3, 0}, ml));
+  EXPECT_LT(kp, morton_key_global<2>(2, {2, 1}, ml));
+  // And siblings of the parent sort strictly after all its children.
+  std::uint64_t knext = morton_key_global<2>(1, {0, 1}, ml);
+  EXPECT_LT(morton_key_global<2>(2, {3, 1}, ml), knext);
+}
+
+}  // namespace
+}  // namespace ab

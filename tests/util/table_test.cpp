@@ -1,0 +1,67 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace ab {
+namespace {
+
+TEST(Table, AlignedOutputContainsHeadersAndCells) {
+  Table t({"name", "count", "ratio"});
+  t.add_row({std::string("foo"), 42LL, 1.5});
+  t.add_row({std::string("barbaz"), 7LL, 0.25});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("foo"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("barbaz"), std::string::npos);
+  EXPECT_NE(s.find("0.25"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({1LL, 2.5});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2.5\n");
+}
+
+TEST(Table, CsvQuotesCommasAndQuotes) {
+  Table t({"text"});
+  t.add_row({std::string("hello, world")});
+  t.add_row({std::string("say \"hi\"")});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "text\n\"hello, world\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, RejectsRowWidthMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({1LL}), Error);
+}
+
+TEST(Table, RejectsEmptyHeader) { EXPECT_THROW(Table({}), Error); }
+
+TEST(Table, DoublePrecisionRespected) {
+  Table t({"x"}, 2);
+  t.add_row({3.14159});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x\n3.1\n");
+}
+
+TEST(Table, RowColCounts) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.rows(), 0);
+  t.add_row({1LL, 2LL, 3LL});
+  EXPECT_EQ(t.rows(), 1);
+}
+
+}  // namespace
+}  // namespace ab

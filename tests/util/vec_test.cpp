@@ -1,0 +1,100 @@
+#include "util/vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ab {
+namespace {
+
+TEST(IVec, DefaultIsZero) {
+  IVec<3> v;
+  EXPECT_EQ(v[0], 0);
+  EXPECT_EQ(v[1], 0);
+  EXPECT_EQ(v[2], 0);
+}
+
+TEST(IVec, FillConstructor) {
+  IVec<2> v(7);
+  EXPECT_EQ(v[0], 7);
+  EXPECT_EQ(v[1], 7);
+}
+
+TEST(IVec, ComponentConstructor) {
+  IVec<3> v{1, 2, 3};
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 2);
+  EXPECT_EQ(v[2], 3);
+}
+
+TEST(IVec, Arithmetic) {
+  IVec<2> a{1, 2}, b{10, 20};
+  EXPECT_EQ(a + b, (IVec<2>{11, 22}));
+  EXPECT_EQ(b - a, (IVec<2>{9, 18}));
+  EXPECT_EQ(a * 3, (IVec<2>{3, 6}));
+  EXPECT_EQ(3 * a, (IVec<2>{3, 6}));
+}
+
+TEST(IVec, Comparison) {
+  EXPECT_EQ((IVec<2>{1, 2}), (IVec<2>{1, 2}));
+  EXPECT_NE((IVec<2>{1, 2}), (IVec<2>{2, 1}));
+  EXPECT_LT((IVec<2>{1, 2}), (IVec<2>{1, 3}));
+  EXPECT_LT((IVec<2>{1, 9}), (IVec<2>{2, 0}));
+}
+
+TEST(IVec, Shifts) {
+  IVec<2> v{4, 6};
+  EXPECT_EQ(v.shifted_left(1), (IVec<2>{8, 12}));
+  EXPECT_EQ(v.shifted_right(1), (IVec<2>{2, 3}));
+  EXPECT_EQ(v.shifted_right(2), (IVec<2>{1, 1}));
+}
+
+TEST(IVec, Reductions) {
+  IVec<3> v{2, 3, 4};
+  EXPECT_EQ(v.product(), 24);
+  EXPECT_EQ(v.sum(), 9);
+  EXPECT_EQ(v.max_element(), 4);
+  EXPECT_EQ(v.min_element(), 2);
+}
+
+TEST(IVec, ProductUses64Bits) {
+  IVec<3> v{2048, 2048, 2048};
+  EXPECT_EQ(v.product(), 8589934592LL);
+}
+
+TEST(IVec, UnitVector) {
+  EXPECT_EQ((unit<3>(1)), (IVec<3>{0, 1, 0}));
+  EXPECT_EQ((unit<3>(2, -1)), (IVec<3>{0, 0, -1}));
+}
+
+TEST(IVec, Streaming) {
+  std::ostringstream os;
+  os << IVec<2>{3, 4};
+  EXPECT_EQ(os.str(), "(3,4)");
+}
+
+TEST(RVec, Arithmetic) {
+  RVec<2> a{1.0, 2.0}, b{0.5, 0.25};
+  RVec<2> s = a + b;
+  EXPECT_DOUBLE_EQ(s[0], 1.5);
+  EXPECT_DOUBLE_EQ(s[1], 2.25);
+  RVec<2> d = a - b;
+  EXPECT_DOUBLE_EQ(d[0], 0.5);
+  RVec<2> m = a * 2.0;
+  EXPECT_DOUBLE_EQ(m[1], 4.0);
+}
+
+TEST(RVec, Norm) {
+  RVec<2> v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+}
+
+TEST(RVec, FillConstructor) {
+  RVec<3> v(1.5);
+  EXPECT_DOUBLE_EQ(v[0], 1.5);
+  EXPECT_DOUBLE_EQ(v[2], 1.5);
+}
+
+}  // namespace
+}  // namespace ab
