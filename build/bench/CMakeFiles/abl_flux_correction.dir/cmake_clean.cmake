@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_flux_correction.dir/abl_flux_correction.cpp.o"
+  "CMakeFiles/abl_flux_correction.dir/abl_flux_correction.cpp.o.d"
+  "abl_flux_correction"
+  "abl_flux_correction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_flux_correction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ghost_layers.dir/abl_ghost_layers.cpp.o"
+  "CMakeFiles/abl_ghost_layers.dir/abl_ghost_layers.cpp.o.d"
+  "abl_ghost_layers"
+  "abl_ghost_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ghost_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

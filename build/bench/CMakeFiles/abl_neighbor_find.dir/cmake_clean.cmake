@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_neighbor_find.dir/abl_neighbor_find.cpp.o"
+  "CMakeFiles/abl_neighbor_find.dir/abl_neighbor_find.cpp.o.d"
+  "abl_neighbor_find"
+  "abl_neighbor_find.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_neighbor_find.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_neighbor_find.
+# This may be replaced when dependencies are built.

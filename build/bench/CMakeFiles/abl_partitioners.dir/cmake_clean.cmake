@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_partitioners.dir/abl_partitioners.cpp.o"
+  "CMakeFiles/abl_partitioners.dir/abl_partitioners.cpp.o.d"
+  "abl_partitioners"
+  "abl_partitioners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_partitioners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_prolongation.dir/abl_prolongation.cpp.o"
+  "CMakeFiles/abl_prolongation.dir/abl_prolongation.cpp.o.d"
+  "abl_prolongation"
+  "abl_prolongation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_prolongation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_rebalance.dir/abl_rebalance.cpp.o"
+  "CMakeFiles/abl_rebalance.dir/abl_rebalance.cpp.o.d"
+  "abl_rebalance"
+  "abl_rebalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_rebalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_refinement_constraint.dir/abl_refinement_constraint.cpp.o"
+  "CMakeFiles/abl_refinement_constraint.dir/abl_refinement_constraint.cpp.o.d"
+  "abl_refinement_constraint"
+  "abl_refinement_constraint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_refinement_constraint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_subcycling.dir/abl_subcycling.cpp.o"
+  "CMakeFiles/abl_subcycling.dir/abl_subcycling.cpp.o.d"
+  "abl_subcycling"
+  "abl_subcycling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_subcycling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

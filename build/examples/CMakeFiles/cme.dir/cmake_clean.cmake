@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cme.dir/cme.cpp.o"
+  "CMakeFiles/cme.dir/cme.cpp.o.d"
+  "cme"
+  "cme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

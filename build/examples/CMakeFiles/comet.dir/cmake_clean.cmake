@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comet.dir/comet.cpp.o"
+  "CMakeFiles/comet.dir/comet.cpp.o.d"
+  "comet"
+  "comet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

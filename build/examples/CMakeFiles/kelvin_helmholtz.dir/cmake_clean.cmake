@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kelvin_helmholtz.dir/kelvin_helmholtz.cpp.o"
+  "CMakeFiles/kelvin_helmholtz.dir/kelvin_helmholtz.cpp.o.d"
+  "kelvin_helmholtz"
+  "kelvin_helmholtz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kelvin_helmholtz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

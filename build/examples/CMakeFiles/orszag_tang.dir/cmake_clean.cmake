@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orszag_tang.dir/orszag_tang.cpp.o"
+  "CMakeFiles/orszag_tang.dir/orszag_tang.cpp.o.d"
+  "orszag_tang"
+  "orszag_tang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orszag_tang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for orszag_tang.
+# This may be replaced when dependencies are built.

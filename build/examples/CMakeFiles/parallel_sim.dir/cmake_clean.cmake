@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_sim.dir/parallel_sim.cpp.o"
+  "CMakeFiles/parallel_sim.dir/parallel_sim.cpp.o.d"
+  "parallel_sim"
+  "parallel_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisson_gravity.dir/poisson_gravity.cpp.o"
+  "CMakeFiles/poisson_gravity.dir/poisson_gravity.cpp.o.d"
+  "poisson_gravity"
+  "poisson_gravity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisson_gravity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sod_shock.dir/sod_shock.cpp.o"
+  "CMakeFiles/sod_shock.dir/sod_shock.cpp.o.d"
+  "sod_shock"
+  "sod_shock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sod_shock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab_celltree.dir/celltree.cpp.o"
+  "CMakeFiles/ab_celltree.dir/celltree.cpp.o.d"
+  "libab_celltree.a"
+  "libab_celltree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_celltree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bc.cpp" "src/core/CMakeFiles/ab_core.dir/bc.cpp.o" "gcc" "src/core/CMakeFiles/ab_core.dir/bc.cpp.o.d"
+  "/root/repo/src/core/forest.cpp" "src/core/CMakeFiles/ab_core.dir/forest.cpp.o" "gcc" "src/core/CMakeFiles/ab_core.dir/forest.cpp.o.d"
+  "/root/repo/src/core/ghost.cpp" "src/core/CMakeFiles/ab_core.dir/ghost.cpp.o" "gcc" "src/core/CMakeFiles/ab_core.dir/ghost.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab_core.dir/bc.cpp.o"
+  "CMakeFiles/ab_core.dir/bc.cpp.o.d"
+  "CMakeFiles/ab_core.dir/forest.cpp.o"
+  "CMakeFiles/ab_core.dir/forest.cpp.o.d"
+  "CMakeFiles/ab_core.dir/ghost.cpp.o"
+  "CMakeFiles/ab_core.dir/ghost.cpp.o.d"
+  "libab_core.a"
+  "libab_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab_elliptic.dir/poisson.cpp.o"
+  "CMakeFiles/ab_elliptic.dir/poisson.cpp.o.d"
+  "libab_elliptic.a"
+  "libab_elliptic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_elliptic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab_io.dir/checkpoint.cpp.o"
+  "CMakeFiles/ab_io.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/ab_io.dir/output.cpp.o"
+  "CMakeFiles/ab_io.dir/output.cpp.o.d"
+  "libab_io.a"
+  "libab_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libab_io.a"
+)

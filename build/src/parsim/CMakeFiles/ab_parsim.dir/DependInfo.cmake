@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parsim/partition.cpp" "src/parsim/CMakeFiles/ab_parsim.dir/partition.cpp.o" "gcc" "src/parsim/CMakeFiles/ab_parsim.dir/partition.cpp.o.d"
+  "/root/repo/src/parsim/simulate.cpp" "src/parsim/CMakeFiles/ab_parsim.dir/simulate.cpp.o" "gcc" "src/parsim/CMakeFiles/ab_parsim.dir/simulate.cpp.o.d"
+  "/root/repo/src/parsim/workload.cpp" "src/parsim/CMakeFiles/ab_parsim.dir/workload.cpp.o" "gcc" "src/parsim/CMakeFiles/ab_parsim.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab_parsim.dir/partition.cpp.o"
+  "CMakeFiles/ab_parsim.dir/partition.cpp.o.d"
+  "CMakeFiles/ab_parsim.dir/simulate.cpp.o"
+  "CMakeFiles/ab_parsim.dir/simulate.cpp.o.d"
+  "CMakeFiles/ab_parsim.dir/workload.cpp.o"
+  "CMakeFiles/ab_parsim.dir/workload.cpp.o.d"
+  "libab_parsim.a"
+  "libab_parsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_parsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab_physics.dir/riemann_exact.cpp.o"
+  "CMakeFiles/ab_physics.dir/riemann_exact.cpp.o.d"
+  "libab_physics.a"
+  "libab_physics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

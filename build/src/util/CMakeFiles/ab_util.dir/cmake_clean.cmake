@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab_util.dir/hilbert.cpp.o"
+  "CMakeFiles/ab_util.dir/hilbert.cpp.o.d"
+  "CMakeFiles/ab_util.dir/morton.cpp.o"
+  "CMakeFiles/ab_util.dir/morton.cpp.o.d"
+  "CMakeFiles/ab_util.dir/table.cpp.o"
+  "CMakeFiles/ab_util.dir/table.cpp.o.d"
+  "libab_util.a"
+  "libab_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

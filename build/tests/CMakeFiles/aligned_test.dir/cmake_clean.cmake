@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aligned_test.dir/util/aligned_test.cpp.o"
+  "CMakeFiles/aligned_test.dir/util/aligned_test.cpp.o.d"
+  "aligned_test"
+  "aligned_test.pdb"
+  "aligned_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aligned_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_solver_test.dir/amr/solver_test.cpp.o"
+  "CMakeFiles/amr_solver_test.dir/amr/solver_test.cpp.o.d"
+  "amr_solver_test"
+  "amr_solver_test.pdb"
+  "amr_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bc_test.dir/core/bc_test.cpp.o"
+  "CMakeFiles/bc_test.dir/core/bc_test.cpp.o.d"
+  "bc_test"
+  "bc_test.pdb"
+  "bc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_store_test.dir/core/block_store_test.cpp.o"
+  "CMakeFiles/block_store_test.dir/core/block_store_test.cpp.o.d"
+  "block_store_test"
+  "block_store_test.pdb"
+  "block_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffered_exchange_test.dir/parsim/buffered_exchange_test.cpp.o"
+  "CMakeFiles/buffered_exchange_test.dir/parsim/buffered_exchange_test.cpp.o.d"
+  "buffered_exchange_test"
+  "buffered_exchange_test.pdb"
+  "buffered_exchange_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffered_exchange_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

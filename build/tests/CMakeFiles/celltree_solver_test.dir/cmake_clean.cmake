@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/celltree_solver_test.dir/celltree/celltree_solver_test.cpp.o"
+  "CMakeFiles/celltree_solver_test.dir/celltree/celltree_solver_test.cpp.o.d"
+  "celltree_solver_test"
+  "celltree_solver_test.pdb"
+  "celltree_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/celltree_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/celltree_test.dir/celltree/celltree_test.cpp.o"
+  "CMakeFiles/celltree_test.dir/celltree/celltree_test.cpp.o.d"
+  "celltree_test"
+  "celltree_test.pdb"
+  "celltree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/celltree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

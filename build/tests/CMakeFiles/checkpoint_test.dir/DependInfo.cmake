@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/io/checkpoint_test.cpp" "tests/CMakeFiles/checkpoint_test.dir/io/checkpoint_test.cpp.o" "gcc" "tests/CMakeFiles/checkpoint_test.dir/io/checkpoint_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/ab_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/celltree/CMakeFiles/ab_celltree.dir/DependInfo.cmake"
+  "/root/repo/build/src/parsim/CMakeFiles/ab_parsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/elliptic/CMakeFiles/ab_elliptic.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/ab_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ab_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

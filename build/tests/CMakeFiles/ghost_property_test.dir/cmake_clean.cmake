@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghost_property_test.dir/core/ghost_property_test.cpp.o"
+  "CMakeFiles/ghost_property_test.dir/core/ghost_property_test.cpp.o.d"
+  "ghost_property_test"
+  "ghost_property_test.pdb"
+  "ghost_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghost_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

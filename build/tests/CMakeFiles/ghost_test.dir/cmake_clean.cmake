@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghost_test.dir/core/ghost_test.cpp.o"
+  "CMakeFiles/ghost_test.dir/core/ghost_test.cpp.o.d"
+  "ghost_test"
+  "ghost_test.pdb"
+  "ghost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

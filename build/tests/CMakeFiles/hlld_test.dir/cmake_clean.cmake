@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlld_test.dir/physics/hlld_test.cpp.o"
+  "CMakeFiles/hlld_test.dir/physics/hlld_test.cpp.o.d"
+  "hlld_test"
+  "hlld_test.pdb"
+  "hlld_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlld_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

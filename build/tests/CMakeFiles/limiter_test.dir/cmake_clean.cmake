@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/limiter_test.dir/physics/limiter_test.cpp.o"
+  "CMakeFiles/limiter_test.dir/physics/limiter_test.cpp.o.d"
+  "limiter_test"
+  "limiter_test.pdb"
+  "limiter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/limiter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lohner_test.dir/amr/lohner_test.cpp.o"
+  "CMakeFiles/lohner_test.dir/amr/lohner_test.cpp.o.d"
+  "lohner_test"
+  "lohner_test.pdb"
+  "lohner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lohner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

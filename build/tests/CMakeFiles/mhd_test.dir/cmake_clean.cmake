@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhd_test.dir/physics/mhd_test.cpp.o"
+  "CMakeFiles/mhd_test.dir/physics/mhd_test.cpp.o.d"
+  "mhd_test"
+  "mhd_test.pdb"
+  "mhd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/one_dimensional_test.dir/amr/one_dimensional_test.cpp.o"
+  "CMakeFiles/one_dimensional_test.dir/amr/one_dimensional_test.cpp.o.d"
+  "one_dimensional_test"
+  "one_dimensional_test.pdb"
+  "one_dimensional_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/one_dimensional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

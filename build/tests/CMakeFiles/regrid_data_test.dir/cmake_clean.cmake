@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regrid_data_test.dir/core/regrid_data_test.cpp.o"
+  "CMakeFiles/regrid_data_test.dir/core/regrid_data_test.cpp.o.d"
+  "regrid_data_test"
+  "regrid_data_test.pdb"
+  "regrid_data_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regrid_data_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riemann_test.dir/physics/riemann_test.cpp.o"
+  "CMakeFiles/riemann_test.dir/physics/riemann_test.cpp.o.d"
+  "riemann_test"
+  "riemann_test.pdb"
+  "riemann_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riemann_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

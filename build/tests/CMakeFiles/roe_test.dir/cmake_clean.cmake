@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roe_test.dir/physics/roe_test.cpp.o"
+  "CMakeFiles/roe_test.dir/physics/roe_test.cpp.o.d"
+  "roe_test"
+  "roe_test.pdb"
+  "roe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/root_mask_test.dir/core/root_mask_test.cpp.o"
+  "CMakeFiles/root_mask_test.dir/core/root_mask_test.cpp.o.d"
+  "root_mask_test"
+  "root_mask_test.pdb"
+  "root_mask_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/root_mask_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subcycling_test.dir/amr/subcycling_test.cpp.o"
+  "CMakeFiles/subcycling_test.dir/amr/subcycling_test.cpp.o.d"
+  "subcycling_test"
+  "subcycling_test.pdb"
+  "subcycling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subcycling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
