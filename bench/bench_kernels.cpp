@@ -49,7 +49,15 @@ void BM_AdvectionSecondOrder(benchmark::State& state) {
   phys.velocity = {1.0, 0.5, -0.2};
   bench_update<LinearAdvection<3>>(state, phys, {1.0}, SpatialOrder::Second);
 }
-BENCHMARK(BM_AdvectionSecondOrder)->Arg(8)->Arg(16);
+BENCHMARK(BM_AdvectionSecondOrder)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_EulerFirstOrder(benchmark::State& state) {
+  Euler<3> phys;
+  bench_update<Euler<3>>(state, phys,
+                         phys.from_primitive(1.0, {0.5, 0.1, -0.2}, 1.0),
+                         SpatialOrder::First);
+}
+BENCHMARK(BM_EulerFirstOrder)->Arg(8)->Arg(16)->Arg(32);
 
 void BM_EulerSecondOrder(benchmark::State& state) {
   Euler<3> phys;
@@ -57,7 +65,7 @@ void BM_EulerSecondOrder(benchmark::State& state) {
                          phys.from_primitive(1.0, {0.5, 0.1, -0.2}, 1.0),
                          SpatialOrder::Second);
 }
-BENCHMARK(BM_EulerSecondOrder)->Arg(8)->Arg(16);
+BENCHMARK(BM_EulerSecondOrder)->Arg(8)->Arg(16)->Arg(32);
 
 void BM_MhdFirstOrder(benchmark::State& state) {
   IdealMhd<3> phys;
@@ -66,7 +74,7 @@ void BM_MhdFirstOrder(benchmark::State& state) {
       phys.from_primitive(1.0, {0.5, 0.1, -0.2}, {0.2, 0.3, 0.1}, 1.0),
       SpatialOrder::First);
 }
-BENCHMARK(BM_MhdFirstOrder)->Arg(8)->Arg(16);
+BENCHMARK(BM_MhdFirstOrder)->Arg(8)->Arg(16)->Arg(32);
 
 void BM_MhdSecondOrder(benchmark::State& state) {
   IdealMhd<3> phys;

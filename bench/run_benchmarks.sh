@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Run the kernel microbenchmarks and write BENCH_kernels.json at the repo
+# root: the current run ("after") plus, when the committed seed baseline
+# (bench/BENCH_kernels_seed.json) is present, the seed numbers ("before")
+# and a per-benchmark speedup_vs_seed ratio.
+#
+# Usage: bench/run_benchmarks.sh [build-dir] [extra bench_kernels args...]
+# Extra args are passed to bench_kernels; with --benchmark_repetitions=N
+# the per-repetition medians are used for the ratios, which smooths
+# machine noise. Keep AB_NATIVE_ARCH fixed across runs you intend to
+# compare; the seed baseline was recorded with AB_NATIVE_ARCH=OFF (plain
+# -O3); see docs/PERFORMANCE.md for how to read cross-config comparisons.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+[ $# -gt 0 ] && shift
+
+if [ ! -x "$build_dir/bench/bench_kernels" ]; then
+  echo "bench_kernels not built; configuring $build_dir" >&2
+  cmake -B "$build_dir" -S "$repo_root" > /dev/null
+  cmake --build "$build_dir" --target bench_kernels -j > /dev/null
+fi
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+"$build_dir/bench/bench_kernels" --benchmark_format=json "$@" > "$raw"
+
+seed="$repo_root/bench/BENCH_kernels_seed.json"
+out="$repo_root/BENCH_kernels.json"
+python3 - "$raw" "$seed" "$out" <<'EOF'
+import json, sys
+
+raw_path, seed_path, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
+after = json.load(open(raw_path))
+doc = {"context": after.get("context", {}), "after": after.get("benchmarks", [])}
+
+def representative(benchmarks):
+    """name -> items_per_second, preferring the median aggregate when the
+    run used repetitions."""
+    rep = {}
+    for b in benchmarks:
+        if not b.get("items_per_second"):
+            continue
+        name = b["name"]
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") != "median":
+                continue
+            name = b["run_name"]
+            rep[name] = b["items_per_second"]
+        else:
+            rep.setdefault(name, b["items_per_second"])
+    return rep
+
+try:
+    seed = json.load(open(seed_path))
+except OSError:
+    seed = None
+if seed is not None:
+    before = seed.get("benchmarks", seed.get("after", []))
+    doc["before"] = before
+    doc["seed_context"] = seed.get("context", seed.get("seed_context", {}))
+    before_rep = representative(before)
+    speedups = {}
+    for name, ips in representative(doc["after"]).items():
+        if before_rep.get(name):
+            speedups[name] = ips / before_rep[name]
+    doc["speedup_vs_seed"] = speedups
+
+json.dump(doc, open(out_path, "w"), indent=1)
+print(f"wrote {out_path}")
+for name, ratio in doc.get("speedup_vs_seed", {}).items():
+    print(f"  {name}: {ratio:.2f}x vs seed")
+EOF

@@ -79,6 +79,9 @@ class AmrSolver {
     AB_REQUIRE(cfg_.num_threads >= 1, "AmrSolver: num_threads must be >= 1");
     if (cfg_.num_threads > 1)
       pool_ = std::make_unique<ThreadPool>(cfg_.num_threads);
+    // One kernel scratch arena per pool thread (index 0 is the calling
+    // thread), so pencil sweeps never contend or allocate on the hot path.
+    kernel_scratch_.resize(static_cast<std::size_t>(cfg_.num_threads));
     AB_REQUIRE(cfg_.rk_stages == 1 || cfg_.rk_stages == 2,
                "AmrSolver: rk_stages must be 1 or 2");
     AB_REQUIRE(cfg_.ghost >= (cfg_.order == SpatialOrder::Second ? 2 : 1),
@@ -210,7 +213,8 @@ class AmrSolver {
         flops_ += fv_block_update<D, Phys>(lay, scratch_.view(id).base,
                                            tmp.data(), phys_, dx, dt,
                                            cfg_.order, cfg_.limiter,
-                                           cfg_.flux);
+                                           cfg_.flux, nullptr, nullptr,
+                                           &kernel_scratch_[0]);
         combine_half(store_.view(id),
                      ConstBlockView<D>{tmp.data(), &lay});
         if (cfg_.apply_positivity_fix) fix_block(store_, id);
@@ -437,7 +441,8 @@ class AmrSolver {
       flops_ += fv_block_update<D, Phys>(lay, store_.view(id).base,
                                          scratch_.view(id).base, phys_, dx,
                                          dt, cfg_.order, cfg_.limiter,
-                                         cfg_.flux);
+                                         cfg_.flux, nullptr, nullptr,
+                                         &kernel_scratch_[0]);
       // Swap: store_ takes the new state; scratch_ keeps the old one
       // (with its freshly filled ghosts) for finer-level interpolation.
       store_.swap_block(scratch_, id);
@@ -489,9 +494,11 @@ class AmrSolver {
               ? &flux_register_.storage(id)
               : nullptr;
       flops.fetch_add(
-          fv_block_update<D, Phys>(lay, in.view(id).base, out.view(id).base,
-                                   phys_, dx, dt, cfg_.order, cfg_.limiter,
-                                   cfg_.flux, ff),
+          fv_block_update<D, Phys>(
+              lay, in.view(id).base, out.view(id).base, phys_, dx, dt,
+              cfg_.order, cfg_.limiter, cfg_.flux, ff, nullptr,
+              &kernel_scratch_[static_cast<std::size_t>(
+                  ThreadPool::this_thread_index())]),
           std::memory_order_relaxed);
     });
     flops_ += flops.load(std::memory_order_relaxed);
@@ -540,6 +547,7 @@ class AmrSolver {
   FluxRegister<D> flux_register_;
   std::unique_ptr<BlockStore<D>> stage2_;  // with flux_correction or threads
   std::unique_ptr<ThreadPool> pool_;       // when num_threads > 1
+  std::vector<AlignedScratch> kernel_scratch_;  // one per pool thread
   double time_ = 0.0;
   std::uint64_t flops_ = 0;
   std::uint64_t block_updates_ = 0;

@@ -1,5 +1,7 @@
 #include "core/ghost.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <utility>
 
 namespace ab {
@@ -140,13 +142,31 @@ void GhostExchanger<D>::rebuild() {
   ops_by_dst_.assign(forest_->node_capacity(), {});
   for (int i = 0; i < static_cast<int>(ops_.size()); ++i)
     ops_by_dst_[ops_[i].dst].push_back(i);
+
+  // Batched execution order: group by kind (SameCopy, Restrict, Prolong),
+  // then by destination, so fill() runs each kind's tight loop back to back
+  // and writes each destination's ghost ring in one burst. ops_ itself
+  // stays in planning order (the parallel-machine simulator walks it).
+  exec_order_.resize(ops_.size());
+  for (int i = 0; i < static_cast<int>(ops_.size()); ++i) exec_order_[i] = i;
+  std::stable_sort(exec_order_.begin(), exec_order_.end(),
+                   [this](int ia, int ib) {
+                     const GhostOp<D>& a = ops_[ia];
+                     const GhostOp<D>& b = ops_[ib];
+                     if (a.kind != b.kind) return a.kind < b.kind;
+                     return a.dst < b.dst;
+                   });
+  phase1_count_ = 0;
+  for (const auto& op : ops_)
+    if (op.kind != GhostOpKind::Prolong) ++phase1_count_;
 }
 
 namespace {
 
 /// Evaluate one op from the source data, emitting (var, cell, value) in a
-/// deterministic order (vars outer, dst_box cells inner). Shared by the
-/// in-place apply and the sender-side message pack.
+/// deterministic order (vars outer, dst_box cells inner). Backs the
+/// sender-side message pack and the reference executor the batched row
+/// paths are tested against.
 template <int D, class Emit>
 void compute_op(const BlockLayout<D>& layout, Prolongation prolongation,
                 const ConstBlockView<D>& src, const GhostOp<D>& op,
@@ -183,9 +203,124 @@ void compute_op(const BlockLayout<D>& layout, Prolongation prolongation,
 
 }  // namespace
 
+// The batched executor: each op runs as rows along the unit-stride axis.
+// SameCopy rows are straight memcpy; Restrict rows average 2^D stride-2
+// source streams; Prolong rows reuse the per-row-constant transverse
+// parities and slope-validity flags. All arithmetic matches compute_op
+// value for value, so the fill is bitwise identical to apply_reference.
 template <int D>
 void GhostExchanger<D>::apply_op(BlockStore<D>& store,
                                  const GhostOp<D>& op) const {
+  BlockView<D> dst = store.view(op.dst);
+  ConstBlockView<D> src = std::as_const(store).view(op.src);
+  const BlockLayout<D>& lay = layout_;
+  const std::int64_t fs = lay.field_stride();
+  const Box<D>& b = op.dst_box;
+  if (b.empty()) return;
+  const int n = b.hi[0] - b.lo[0];  // row length along the unit-stride axis
+  Box<D> rows = b;
+  rows.hi[0] = rows.lo[0] + 1;
+
+  switch (op.kind) {
+    case GhostOpKind::SameCopy: {
+      for (int v = 0; v < lay.nvar; ++v) {
+        const double* s = src.base + v * fs;
+        double* d = dst.base + v * fs;
+        for_each_cell<D>(rows, [&](IVec<D> q) {
+          std::memcpy(d + lay.offset(q), s + lay.offset(q + op.a),
+                      sizeof(double) * static_cast<std::size_t>(n));
+        });
+      }
+      break;
+    }
+    case GhostOpKind::Restrict: {
+      constexpr int kChildren = 1 << D;
+      std::int64_t child[kChildren];
+      for (int mask = 0; mask < kChildren; ++mask) {
+        std::int64_t off = 0;
+        for (int d = 0; d < D; ++d)
+          if ((mask >> d) & 1) off += lay.stride(d);
+        child[mask] = off;
+      }
+      for (int v = 0; v < lay.nvar; ++v) {
+        const double* s = src.base + v * fs;
+        double* d = dst.base + v * fs;
+        for_each_cell<D>(rows, [&](IVec<D> q) {
+          double* AB_RESTRICT dp = d + lay.offset(q);
+          const double* AB_RESTRICT sp =
+              s + lay.offset(q.shifted_left(1) + op.a);
+          for (int t = 0; t < n; ++t) {
+            double sum = 0.0;
+            for (int mask = 0; mask < kChildren; ++mask)
+              sum += sp[2 * t + child[mask]];
+            dp[t] = sum / kChildren;
+          }
+        });
+      }
+      break;
+    }
+    case GhostOpKind::Prolong: {
+      const Box<D>& valid = op.valid;
+      const Prolongation kind = prolongation_;
+      for (int v = 0; v < lay.nvar; ++v) {
+        const double* s = src.base + v * fs;
+        double* d = dst.base + v * fs;
+        for_each_cell<D>(rows, [&](IVec<D> q) {
+          double* AB_RESTRICT dp = d + lay.offset(q);
+          // Transverse coordinates are fixed along the row: precompute the
+          // coarse cell, parity factor, and slope-validity per dimension.
+          IVec<D> cc{};
+          double fac[D > 1 ? D : 1];
+          bool use[D > 1 ? D : 1];
+          for (int dd = 1; dd < D; ++dd) {
+            const int gf = q[dd] + op.a[dd];
+            cc[dd] = (gf >> 1) - op.b[dd];
+            fac[dd] = (gf & 1) ? 0.25 : -0.25;
+            use[dd] = cc[dd] - 1 >= valid.lo[dd] && cc[dd] + 1 < valid.hi[dd];
+          }
+          cc[0] = 0;
+          const std::int64_t cbase = lay.offset(cc);
+          const int gf0 = q[0] + op.a[0];
+          if (kind == Prolongation::Constant) {
+            for (int t = 0; t < n; ++t) {
+              const std::int64_t c0 = ((gf0 + t) >> 1) - op.b[0];
+              dp[t] = s[cbase + c0];
+            }
+            return;
+          }
+          const bool linear = kind == Prolongation::Linear;
+          for (int t = 0; t < n; ++t) {
+            const int g0 = gf0 + t;
+            const std::int64_t c0 = (g0 >> 1) - op.b[0];
+            const std::int64_t off = cbase + c0;
+            const double c = s[off];
+            double val = c;
+            if (c0 - 1 >= valid.lo[0] && c0 + 1 < valid.hi[0]) {
+              const double sl = linear
+                                    ? 0.5 * (s[off + 1] - s[off - 1])
+                                    : minmod(s[off + 1] - c, c - s[off - 1]);
+              val += ((g0 & 1) ? 0.25 : -0.25) * sl;
+            }
+            for (int dd = 1; dd < D; ++dd) {
+              if (!use[dd]) continue;
+              const std::int64_t st = lay.stride(dd);
+              const double sl = linear
+                                    ? 0.5 * (s[off + st] - s[off - st])
+                                    : minmod(s[off + st] - c, c - s[off - st]);
+              val += fac[dd] * sl;
+            }
+            dp[t] = val;
+          }
+        });
+      }
+      break;
+    }
+  }
+}
+
+template <int D>
+void GhostExchanger<D>::apply_reference(BlockStore<D>& store,
+                                        const GhostOp<D>& op) const {
   BlockView<D> dst = store.view(op.dst);
   ConstBlockView<D> src = std::as_const(store).view(op.src);
   compute_op<D>(layout_, prolongation_, src, op,
@@ -216,23 +351,23 @@ void GhostExchanger<D>::fill(BlockStore<D>& store, ThreadPool* pool) const {
   // Phase 1: same-level copies and restrictions read only source interiors.
   // Phase 2: prolongations, whose slope stencils may read the ghost cells
   // phase 1 just filled on their coarse sources. Ops within a phase write
-  // disjoint regions, so each phase is a parallel_for.
-  auto run_phase = [&](bool prolong) {
+  // disjoint regions, so each phase is a parallel_for over a contiguous
+  // range of the kind/destination-sorted exec_order_.
+  auto run_range = [&](int lo, int hi) {
     if (pool != nullptr) {
-      pool->parallel_for(static_cast<std::int64_t>(ops_.size()),
+      pool->parallel_for(static_cast<std::int64_t>(hi - lo),
                          [&](std::int64_t i) {
-                           const auto& op = ops_[static_cast<std::size_t>(i)];
-                           if ((op.kind == GhostOpKind::Prolong) == prolong)
-                             apply_op(store, op);
+                           apply_op(store,
+                                    ops_[static_cast<std::size_t>(
+                                        exec_order_[lo + i])]);
                          });
     } else {
-      for (const auto& op : ops_)
-        if ((op.kind == GhostOpKind::Prolong) == prolong)
-          apply_op(store, op);
+      for (int i = lo; i < hi; ++i)
+        apply_op(store, ops_[static_cast<std::size_t>(exec_order_[i])]);
     }
   };
-  run_phase(false);
-  run_phase(true);
+  run_range(0, phase1_count_);
+  run_range(phase1_count_, static_cast<int>(exec_order_.size()));
 }
 
 template <int D>

@@ -88,6 +88,11 @@ class GhostExchanger {
   /// conditions (see bc.hpp). If `pool` is non-null the ops of each phase
   /// run in parallel (they write disjoint ghost regions; the phase barrier
   /// orders prolongation after the restriction-filled ghosts it reads).
+  ///
+  /// Execution is batched: ops run in exec_order() — grouped by kind and
+  /// destination — and each op executes as contiguous row copies (SameCopy)
+  /// or per-row vector loops (Restrict/Prolong) rather than per-cell
+  /// emit callbacks. Results are bitwise identical to apply_reference.
   void fill(BlockStore<D>& store, ThreadPool* pool = nullptr) const;
 
   /// Execute only the ops whose destination is block `dst`.
@@ -98,6 +103,11 @@ class GhostExchanger {
   void apply(BlockStore<D>& store, const GhostOp<D>& op) const {
     apply_op(store, op);
   }
+
+  /// Apply one op through the seed per-cell path (the emit-callback
+  /// executor that also backs pack_op). Kept as the correctness oracle for
+  /// the batched row executor; tests assert both fill the same bytes.
+  void apply_reference(BlockStore<D>& store, const GhostOp<D>& op) const;
 
   /// Doubles one op's message carries: its dst cells times nvar.
   std::int64_t op_payload_doubles(const GhostOp<D>& op) const {
@@ -117,6 +127,13 @@ class GhostExchanger {
                  const double* buf) const;
 
   const std::vector<GhostOp<D>>& ops() const { return ops_; }
+  /// Indices into ops() in batched execution order: SameCopy ops first,
+  /// then Restrict (together phase 1), then Prolong (phase 2), each group
+  /// sorted by destination block so a destination's ghost ring is written
+  /// in one locality burst.
+  const std::vector<int>& exec_order() const { return exec_order_; }
+  /// Number of leading exec_order() entries in phase 1 (non-Prolong).
+  int phase1_count() const { return phase1_count_; }
   const std::vector<BoundaryFace>& boundary_faces() const {
     return boundary_faces_;
   }
@@ -135,6 +152,8 @@ class GhostExchanger {
   BlockLayout<D> layout_;
   Prolongation prolongation_;
   std::vector<GhostOp<D>> ops_;
+  std::vector<int> exec_order_;  // ops_ indices, batched execution order
+  int phase1_count_ = 0;
   std::vector<std::vector<int>> ops_by_dst_;  // indices into ops_, per block
   std::vector<BoundaryFace> boundary_faces_;
 };

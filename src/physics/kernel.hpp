@@ -1,9 +1,18 @@
 // Finite-volume update kernels over block arrays.
 //
 // This is the hot loop whose per-cell cost Figure 5 measures: an unsplit
-// MUSCL (second-order) or Godunov (first-order) update of one block,
-// iterating the regular cell array with stride-1 inner dimension. All
-// stencils offset along one dimension at a time, so only face ghosts are
+// MUSCL (second-order) or Godunov (first-order) update of one block. The
+// update is organized as *pencil sweeps*: for every dimension, faces are
+// processed in stride-1 rows along the inner (unit-stride) axis, with
+// reconstruction, limiting, and flux evaluation running as tight loops over
+// contiguous, 64-byte-aligned scratch lanes (one flat double lane per
+// variable). Each cell's limited slope is computed once per dimension and
+// shared by the two faces that read it — the scalar reference
+// (kernel_reference.hpp) recomputes it per face. Results are bitwise
+// identical to the reference: both paths evaluate the same arithmetic on
+// the same values in the same per-cell order.
+//
+// All stencils offset along one dimension at a time, so only face ghosts are
 // required (see ghost.hpp): g >= 1 for first order, g >= 2 for second.
 //
 // The kernel writes uout = uin + dt * L(uin); time integration (RK stages)
@@ -14,10 +23,13 @@
 #include <array>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
+#include <utility>
 
 #include "core/block_store.hpp"
 #include "core/face_flux.hpp"
 #include "physics/limiter.hpp"
+#include "util/aligned.hpp"
 #include "util/error.hpp"
 #include "util/vec.hpp"
 
@@ -64,11 +76,18 @@ inline void numerical_flux(const Phys& phys, FluxScheme scheme,
     }
   }
   typename Phys::State fL, fR;
-  phys.flux(uL, dir, fL);
-  phys.flux(uR, dir, fR);
   double lminL, lmaxL, lminR, lmaxR;
-  phys.signal_speeds(uL, dir, lminL, lmaxL);
-  phys.signal_speeds(uR, dir, lminR, lmaxR);
+  if constexpr (requires { phys.flux_and_speeds(uL, dir, fL, lminL, lmaxL); }) {
+    // Fused per-state evaluation: same expressions as flux() +
+    // signal_speeds() with the shared divisions computed once.
+    phys.flux_and_speeds(uL, dir, fL, lminL, lmaxL);
+    phys.flux_and_speeds(uR, dir, fR, lminR, lmaxR);
+  } else {
+    phys.flux(uL, dir, fL);
+    phys.flux(uR, dir, fR);
+    phys.signal_speeds(uL, dir, lminL, lmaxL);
+    phys.signal_speeds(uR, dir, lminR, lmaxR);
+  }
   if (scheme == FluxScheme::Rusanov) {
     double s = std::fabs(lminL);
     s = std::max(s, std::fabs(lmaxL));
@@ -88,6 +107,39 @@ inline void numerical_flux(const Phys& phys, FluxScheme scheme,
       for (int v = 0; v < Phys::NVAR; ++v)
         F[v] = (sR * fL[v] - sL * fR[v] + sL * sR * (uR[v] - uL[v])) * inv;
     }
+  }
+}
+
+/// Numerical fluxes for a row of `nf` faces. Variable v of the left/right
+/// state of face i is read from pL[v * strideL + i] / pR[v * strideR + i]
+/// (lane scratch at stride `lane`, or the block array at stride
+/// field_stride() for the unreconstructed first-order case). Flux component
+/// v of face i is written to F[v * lane + i].
+template <class Phys>
+inline void flux_row(const Phys& phys, FluxScheme scheme, int dir,
+                     const double* pL, std::int64_t strideL, const double* pR,
+                     std::int64_t strideR, double* F, std::int64_t lane,
+                     int nf) {
+  using State = typename Phys::State;
+  // Physics-provided row forms (flat vectorizable loops over the lanes,
+  // bitwise identical to the per-face evaluation) take precedence.
+  if constexpr (requires {
+                  phys.rusanov_flux_row(dir, pL, strideL, pR, strideR, F,
+                                        lane, nf);
+                }) {
+    if (scheme == FluxScheme::Rusanov) {
+      phys.rusanov_flux_row(dir, pL, strideL, pR, strideR, F, lane, nf);
+      return;
+    }
+  }
+  for (int i = 0; i < nf; ++i) {
+    State uL, uR, Fi;
+    for (int v = 0; v < Phys::NVAR; ++v) {
+      uL[v] = pL[v * strideL + i];
+      uR[v] = pR[v * strideR + i];
+    }
+    numerical_flux<Phys>(phys, scheme, uL, uR, dir, Fi);
+    for (int v = 0; v < Phys::NVAR; ++v) F[v * lane + i] = Fi[v];
   }
 }
 
@@ -121,6 +173,11 @@ std::uint64_t fv_update_flops(const BlockLayout<D>& lay, SpatialOrder order) {
 /// If `face_fluxes` is non-null (and allocated), the numerical fluxes
 /// through the block's 2*D boundary faces are recorded for later
 /// coarse/fine flux correction (see src/amr/flux_register.hpp).
+///
+/// `scratch` holds the pencil lanes; it is grown on demand and reused
+/// across calls. Pass one AlignedScratch per sweeping thread (the AMR
+/// driver keeps one per pool thread); when null, a thread-local arena is
+/// used, so concurrent calls are always safe.
 template <int D, class Phys>
 std::uint64_t fv_block_update(const BlockLayout<D>& lay, const double* uin,
                               double* uout, const Phys& phys,
@@ -128,9 +185,9 @@ std::uint64_t fv_block_update(const BlockLayout<D>& lay, const double* uin,
                               LimiterKind lim = LimiterKind::VanLeer,
                               FluxScheme scheme = FluxScheme::Rusanov,
                               FaceFluxStorage<D>* face_fluxes = nullptr,
-                              const Box<D>* sub_box = nullptr) {
+                              const Box<D>* sub_box = nullptr,
+                              AlignedScratch* scratch = nullptr) {
   static_assert(Phys::NVAR >= 1);
-  using State = typename Phys::State;
   AB_REQUIRE(lay.nvar == Phys::NVAR, "fv_block_update: nvar mismatch");
   AB_REQUIRE(lay.ghost >= (order == SpatialOrder::Second ? 2 : 1),
              "fv_block_update: insufficient ghost layers for this order");
@@ -142,8 +199,7 @@ std::uint64_t fv_block_update(const BlockLayout<D>& lay, const double* uin,
   // interior. Tiling the interior with sub-boxes reproduces the full update
   // exactly — interior tile faces are computed identically from both sides,
   // and each tile writes only its own cells.
-  const Box<D> interior =
-      sub_box != nullptr ? *sub_box : lay.interior_box();
+  const Box<D> interior = sub_box != nullptr ? *sub_box : lay.interior_box();
   if (sub_box != nullptr) {
     AB_REQUIRE(lay.interior_box().contains(*sub_box),
                "fv_block_update: sub_box outside the interior");
@@ -151,63 +207,170 @@ std::uint64_t fv_block_update(const BlockLayout<D>& lay, const double* uin,
                "fv_block_update: face-flux recording needs the full block");
   }
 
-  // Start from uout = uin on the interior.
-  for (int v = 0; v < Phys::NVAR; ++v) {
-    const double* src = uin + v * fs;
-    double* dst = uout + v * fs;
-    for_each_cell<D>(interior, [&](IVec<D> p) {
-      const std::int64_t off = lay.offset(p);
-      dst[off] = src[off];
+  constexpr int NV = Phys::NVAR;
+  const bool second = order == SpatialOrder::Second;
+  const int n0 = interior.hi[0] - interior.lo[0];  // cells per pencil
+  const int nf0 = n0 + 1;                          // dim-0 faces per pencil
+
+  // Pencil lanes: slope lanes for two adjacent cell rows, left/right face
+  // states, and fluxes — one contiguous aligned double lane per variable.
+  static thread_local AlignedScratch tls_scratch;
+  AlignedScratch& scr = scratch != nullptr ? *scratch : tls_scratch;
+  const std::int64_t lane =
+      (static_cast<std::int64_t>(n0) + 2 + 7) & ~std::int64_t{7};
+  double* lanes = scr.acquire(static_cast<std::size_t>(5 * NV * lane));
+  double* sA = lanes;              // slope lane, cell row A
+  double* sB = sA + NV * lane;     // slope lane, cell row B
+  double* qL = sB + NV * lane;     // reconstructed left face states
+  double* qR = qL + NV * lane;     // reconstructed right face states
+  double* Fl = qR + NV * lane;     // numerical fluxes
+
+  // Start from uout = uin on the update region (contiguous row copies).
+  {
+    Box<D> rows = interior;
+    rows.hi[0] = rows.lo[0] + 1;
+    for (int v = 0; v < NV; ++v) {
+      const double* src = uin + v * fs;
+      double* dst = uout + v * fs;
+      for_each_cell<D>(rows, [&](IVec<D> p) {
+        const std::int64_t off = lay.offset(p);
+        std::memcpy(dst + off, src + off,
+                    sizeof(double) * static_cast<std::size_t>(n0));
+      });
+    }
+  }
+
+  // Dimension-0 sweep: the pencil axis IS the sweep axis. Face i of a row
+  // sits between cells i-1 and i; slope lane entry k holds the limited
+  // slope of cell (lo0 + k - 1), computed once and shared by faces k and
+  // k+1 of the row.
+  {
+    const double lambda = dt / dx[0];
+    Box<D> rows = interior;
+    rows.hi[0] = rows.lo[0] + 1;
+    for_each_cell<D>(rows, [&](IVec<D> p) {
+      const std::int64_t roff = lay.offset(p);
+      if (second) {
+        for (int v = 0; v < NV; ++v) {
+          const double* u = uin + v * fs + roff;
+          limited_slope_row(lim, u - 2, u - 1, u, sA + v * lane, n0 + 2);
+        }
+        for (int v = 0; v < NV; ++v) {
+          const double* AB_RESTRICT u = uin + v * fs + roff;
+          const double* AB_RESTRICT s = sA + v * lane;
+          double* AB_RESTRICT l = qL + v * lane;
+          double* AB_RESTRICT r = qR + v * lane;
+          for (int i = 0; i < nf0; ++i) {
+            l[i] = u[i - 1] + 0.5 * s[i];
+            r[i] = u[i] - 0.5 * s[i + 1];
+          }
+        }
+        detail::flux_row(phys, scheme, 0, qL, lane, qR, lane, Fl, lane, nf0);
+      } else {
+        detail::flux_row(phys, scheme, 0, uin + roff - 1, fs, uin + roff, fs,
+                         Fl, lane, nf0);
+      }
+      if (face_fluxes != nullptr) {
+        for (int v = 0; v < NV; ++v) {
+          face_fluxes->at(0, 0, p, v) = Fl[v * lane];
+          face_fluxes->at(0, 1, p, v) = Fl[v * lane + n0];
+        }
+      }
+      for (int v = 0; v < NV; ++v) {
+        double* AB_RESTRICT o = uout + v * fs + roff;
+        const double* AB_RESTRICT f = Fl + v * lane;
+        for (int t = 0; t < n0; ++t) o[t] += lambda * f[t];
+        for (int t = 0; t < n0; ++t) o[t] -= lambda * f[t + 1];
+      }
     });
   }
 
-  // Dimension-by-dimension face-flux sweeps.
-  for (int dim = 0; dim < D; ++dim) {
+  // Transverse sweeps: the pencil axis stays dimension 0; the face offset
+  // is the dim stride. For each pencil-plane the face rows advance along
+  // `dim` with rolling slope lanes, so each cell row's limited slope is
+  // computed once and reused by the next face row.
+  for (int dim = 1; dim < D; ++dim) {
     const std::int64_t sd = lay.stride(dim);
     const double lambda = dt / dx[dim];
-    Box<D> faces = interior;
-    faces.hi[dim] += 1;  // face p sits between cells p-e_dim and p
-    for_each_cell<D>(faces, [&](IVec<D> p) {
-      const std::int64_t off = lay.offset(p);
-      State uR = detail::load_state<Phys>(uin, fs, off);
-      State uL = detail::load_state<Phys>(uin, fs, off - sd);
-      if (order == SpatialOrder::Second) {
-        State uLL = detail::load_state<Phys>(uin, fs, off - 2 * sd);
-        State uRR = detail::load_state<Phys>(uin, fs, off + sd);
-        for (int v = 0; v < Phys::NVAR; ++v) {
-          const double sl =
-              limited_slope(lim, uL[v] - uLL[v], uR[v] - uL[v]);
-          const double sr =
-              limited_slope(lim, uR[v] - uL[v], uRR[v] - uR[v]);
-          uL[v] += 0.5 * sl;
-          uR[v] -= 0.5 * sr;
+    const int jlo = interior.lo[dim], jhi = interior.hi[dim];
+    Box<D> outer = interior;
+    outer.hi[0] = outer.lo[0] + 1;
+    outer.lo[dim] = 0;
+    outer.hi[dim] = 1;
+    for_each_cell<D>(outer, [&](IVec<D> oc) {
+      const std::int64_t base = lay.offset(oc);  // row origin at dim index 0
+      double* sL = sA;
+      double* sR = sB;
+      if (second) {
+        for (int v = 0; v < NV; ++v) {
+          const double* u = uin + v * fs + base;
+          limited_slope_row(lim, u + (jlo - 2) * sd, u + (jlo - 1) * sd,
+                            u + jlo * sd, sL + v * lane, n0);
+          limited_slope_row(lim, u + (jlo - 1) * sd, u + jlo * sd,
+                            u + (jlo + 1) * sd, sR + v * lane, n0);
         }
       }
-      State F;
-      detail::numerical_flux<Phys>(phys, scheme, uL, uR, dim, F);
-      if (face_fluxes != nullptr) {
-        if (p[dim] == 0)
-          for (int v = 0; v < Phys::NVAR; ++v)
-            face_fluxes->at(dim, 0, p, v) = F[v];
-        else if (p[dim] == m[dim])
-          for (int v = 0; v < Phys::NVAR; ++v)
-            face_fluxes->at(dim, 1, p, v) = F[v];
-      }
-      if (p[dim] > interior.lo[dim]) {  // left cell is in the update region
-        double* dst = uout;
-        const std::int64_t offL = off - sd;
-        for (int v = 0; v < Phys::NVAR; ++v)
-          dst[v * fs + offL] -= lambda * F[v];
-      }
-      if (p[dim] < interior.hi[dim]) {  // right cell is in the region
-        for (int v = 0; v < Phys::NVAR; ++v)
-          uout[v * fs + off] += lambda * F[v];
+      for (int j = jlo; j <= jhi; ++j) {
+        const std::int64_t offR = base + j * sd;
+        const std::int64_t offL = offR - sd;
+        if (second) {
+          for (int v = 0; v < NV; ++v) {
+            const double* AB_RESTRICT ul = uin + v * fs + offL;
+            const double* AB_RESTRICT ur = uin + v * fs + offR;
+            const double* AB_RESTRICT sl = sL + v * lane;
+            const double* AB_RESTRICT sr = sR + v * lane;
+            double* AB_RESTRICT l = qL + v * lane;
+            double* AB_RESTRICT r = qR + v * lane;
+            for (int t = 0; t < n0; ++t) {
+              l[t] = ul[t] + 0.5 * sl[t];
+              r[t] = ur[t] - 0.5 * sr[t];
+            }
+          }
+          detail::flux_row(phys, scheme, dim, qL, lane, qR, lane, Fl, lane,
+                           n0);
+        } else {
+          detail::flux_row(phys, scheme, dim, uin + offL, fs, uin + offR, fs,
+                           Fl, lane, n0);
+        }
+        if (face_fluxes != nullptr && (j == 0 || j == m[dim])) {
+          const int side = j == 0 ? 0 : 1;
+          IVec<D> p = oc;
+          p[dim] = j;
+          for (int t = 0; t < n0; ++t) {
+            p[0] = interior.lo[0] + t;
+            for (int v = 0; v < NV; ++v)
+              face_fluxes->at(dim, side, p, v) = Fl[v * lane + t];
+          }
+        }
+        if (j < jhi) {  // right cell row is in the update region
+          for (int v = 0; v < NV; ++v) {
+            double* AB_RESTRICT o = uout + v * fs + offR;
+            const double* AB_RESTRICT f = Fl + v * lane;
+            for (int t = 0; t < n0; ++t) o[t] += lambda * f[t];
+          }
+        }
+        if (j > jlo) {  // left cell row is in the update region
+          for (int v = 0; v < NV; ++v) {
+            double* AB_RESTRICT o = uout + v * fs + offL;
+            const double* AB_RESTRICT f = Fl + v * lane;
+            for (int t = 0; t < n0; ++t) o[t] -= lambda * f[t];
+          }
+        }
+        if (second && j < jhi) {
+          std::swap(sL, sR);
+          for (int v = 0; v < NV; ++v) {
+            const double* u = uin + v * fs + base;
+            limited_slope_row(lim, u + j * sd, u + (j + 1) * sd,
+                              u + (j + 2) * sd, sR + v * lane, n0);
+          }
+        }
       }
     });
   }
 
   // Non-conservative source terms (Powell eight-wave for MHD).
   if constexpr (Phys::kHasSource) {
+    using State = typename Phys::State;
     for_each_cell<D>(interior, [&](IVec<D> p) {
       const std::int64_t off = lay.offset(p);
       const State u = detail::load_state<Phys>(uin, fs, off);

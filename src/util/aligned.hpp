@@ -12,6 +12,13 @@
 
 #include "util/error.hpp"
 
+/// Non-aliasing pointer qualifier for the hot stencil loops (GCC/Clang).
+#if defined(__GNUC__) || defined(__clang__)
+#define AB_RESTRICT __restrict__
+#else
+#define AB_RESTRICT
+#endif
+
 namespace ab {
 
 /// Owning, 64-byte-aligned array of doubles. Move-only.
@@ -69,6 +76,23 @@ class AlignedBuffer {
  private:
   double* data_ = nullptr;
   std::size_t size_ = 0;
+};
+
+/// Grow-only aligned scratch arena for kernel pencil lanes. Each thread
+/// sweeping blocks owns one of these; acquire() returns a 64-byte-aligned
+/// workspace that is reused (and only reallocated upward) across calls, so
+/// the steady-state hot loop performs no allocation.
+class AlignedScratch {
+ public:
+  /// Workspace of at least `n` doubles. Contents are unspecified.
+  double* acquire(std::size_t n) {
+    if (buf_.size() < n) buf_.allocate(n);
+    return buf_.data();
+  }
+  std::size_t capacity() const { return buf_.size(); }
+
+ private:
+  AlignedBuffer buf_;
 };
 
 }  // namespace ab
