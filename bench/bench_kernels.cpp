@@ -1,10 +1,14 @@
 // Kernel microbenchmarks (google-benchmark): per-cell throughput of the
 // building blocks Figure 5 composes — the physics update kernels at both
-// orders, the ghost-exchange phases, and prolongation/restriction.
+// orders, the ghost-exchange phases, and prolongation/restriction — plus
+// BM_SolverStep, an end-to-end driver step that tracks how well ghost
+// exchange overlaps with interior compute across thread counts.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
 
+#include "amr/criteria.hpp"
+#include "amr/solver.hpp"
 #include "core/block_store.hpp"
 #include "core/forest.hpp"
 #include "core/ghost.hpp"
@@ -119,6 +123,40 @@ void BM_GhostFillMixedLevels(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * gx.total_cells());
 }
 BENCHMARK(BM_GhostFillMixedLevels)->Arg(8)->Arg(16);
+
+void BM_SolverStep(benchmark::State& state) {
+  // Whole Heun step (two ghost fills + two stage sweeps + combine) on a
+  // mixed-level 3D Euler grid. This is the driver-overlap metric: kernel
+  // throughput is covered above; what moves here is how much of the ghost
+  // exchange and boundary work hides behind interior compute.
+  const int threads = static_cast<int>(state.range(0));
+  Euler<3> phys;
+  AmrSolver<3, Euler<3>>::Config cfg;
+  cfg.forest.root_blocks = IVec<3>(2);
+  cfg.forest.periodic = {true, true, true};
+  cfg.forest.max_level = 2;
+  cfg.cells_per_block = IVec<3>(16);
+  cfg.num_threads = threads;
+  AmrSolver<3, Euler<3>> solver(cfg, phys);
+  auto ic = [&](const RVec<3>& x, Euler<3>::State& s) {
+    double r2 = 0.0;
+    for (int d = 0; d < 3; ++d) r2 += (x[d] - 0.5) * (x[d] - 0.5);
+    s = phys.from_primitive(1.0 + 0.8 * std::exp(-40.0 * r2),
+                            {0.3, -0.2, 0.1}, 1.0);
+  };
+  solver.init(ic);
+  GradientCriterion<3> crit{0, 0.02, 0.005, 2};
+  solver.adapt(crit);
+  solver.init(ic);
+  const double dt = 0.2 * solver.compute_dt();
+  for (auto _ : state) solver.step(dt);
+  state.SetItemsProcessed(
+      state.iterations() * 2 * solver.total_interior_cells());
+  state.counters["blocks"] =
+      static_cast<double>(solver.forest().num_leaves());
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_SolverStep)->Arg(1)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_WaveSpeedScan(benchmark::State& state) {
   IdealMhd<3> phys;

@@ -6,10 +6,18 @@
 // stages with a ghost fill before each), matching the explicit mode of the
 // paper's MHD code. All blocks advance with one global timestep (no
 // subcycling), as in the original.
+//
+// With threads, each stage runs as a per-block task graph instead of
+// bulk-synchronous phases: a block's interior update (stencil never touches
+// ghosts) starts immediately, while its rim update waits only on that
+// block's own incoming ghost ops and boundary faces. See the task-graph
+// notes ahead of rebuild_stage_graph() for the dependency argument; results
+// are bitwise identical to the serial path.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
@@ -28,6 +36,7 @@
 #include "physics/kernel.hpp"
 #include "util/aligned.hpp"
 #include "util/error.hpp"
+#include "util/task_graph.hpp"
 
 namespace ab {
 
@@ -94,6 +103,7 @@ class AmrSolver {
       scratch_.ensure(id);
     }
     if (cfg_.subcycling) rebuild_level_structures();
+    rebuild_graphs();
   }
 
   // The exchanger holds a pointer to the member forest; moving would dangle.
@@ -160,15 +170,31 @@ class AmrSolver {
   /// throttle the whole grid.
   double compute_dt() const {
     const int lmin = forest_.stats().min_level;
-    double dt = 1e300;
-    for (int id : forest_.leaves()) {
+    const std::vector<int>& leaves = forest_.leaves();
+    // Per-block wave speeds are independent scans; run them on the pool and
+    // reduce serially in leaf order (so the validity check and the min fold
+    // stay deterministic and thread-count independent).
+    std::vector<double> wave(leaves.size());
+    auto scan = [&](std::int64_t i) {
+      const int id = leaves[static_cast<std::size_t>(i)];
       const RVec<D> dx = cell_dx(forest_.level(id));
-      const double wave = block_wave_speed_sum<D, Phys>(
+      wave[static_cast<std::size_t>(i)] = block_wave_speed_sum<D, Phys>(
           store_.layout(), store_.view(id).base, phys_, dx);
-      AB_REQUIRE(wave > 0.0, "compute_dt: zero wave speed");
-      double block_dt = cfg_.cfl / wave;
+    };
+    if (pool_) {
+      pool_->parallel_for(static_cast<std::int64_t>(leaves.size()), scan);
+    } else {
+      for (std::int64_t i = 0; i < static_cast<std::int64_t>(leaves.size());
+           ++i)
+        scan(i);
+    }
+    double dt = 1e300;
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      AB_REQUIRE(wave[i] > 0.0, "compute_dt: zero wave speed");
+      double block_dt = cfg_.cfl / wave[i];
       if (cfg_.subcycling)
-        block_dt *= static_cast<double>(1 << (forest_.level(id) - lmin));
+        block_dt *=
+            static_cast<double>(1 << (forest_.level(leaves[i]) - lmin));
       dt = std::min(dt, block_dt);
     }
     return dt;
@@ -178,6 +204,10 @@ class AmrSolver {
   void step(double dt) {
     if (cfg_.subcycling) {
       step_subcycled(dt);
+      return;
+    }
+    if (pool_ && !std::getenv("AB_BENCH_BARRIER")) {
+      step_graph(dt);
       return;
     }
     const BlockLayout<D>& lay = store_.layout();
@@ -196,9 +226,9 @@ class AmrSolver {
     // Stage 2 (Heun): u <- (u + (scratch + dt L(scratch))) / 2.
     fill_ghosts(scratch_, time_ + dt);
     if (cfg_.flux_correction || pool_) {
-      // Refluxing needs the whole stage result before combining, and the
-      // parallel path needs per-block output storage anyway: use a third
-      // store.
+      // Refluxing needs the whole stage result before combining: use a
+      // third store. (pool_ is only possible here via the AB_BENCH_BARRIER
+      // escape hatch; the threaded combine needs per-block storage too.)
       if (!stage2_) stage2_ = std::make_unique<BlockStore<D>>(lay);
       for (int id : forest_.leaves()) stage2_->ensure(id);
       run_stage(scratch_, *stage2_, dt);
@@ -311,6 +341,7 @@ class AmrSolver {
       exchanger_.rebuild();
       if (cfg_.flux_correction) flux_register_.rebuild(exchanger_);
       if (cfg_.subcycling) rebuild_level_structures();
+      rebuild_graphs();
     }
     return res;
   }
@@ -353,6 +384,7 @@ class AmrSolver {
     exchanger_.rebuild();
     if (cfg_.flux_correction) flux_register_.rebuild(exchanger_);
     if (cfg_.subcycling) rebuild_level_structures();
+    rebuild_graphs();
   }
 
   /// Total per-block kernel invocations so far (a work measure: with
@@ -368,7 +400,8 @@ class AmrSolver {
   // holds time level_t_cur_[l'] >= t with its previous state (ghosts
   // included) preserved in scratch_ for time interpolation.
 
-  /// Regroup leaves, exchange ops, and boundary faces by refinement level.
+  /// Regroup leaves, exchange ops, and boundary faces by refinement level
+  /// (and, for the task-graph path, per destination block).
   void rebuild_level_structures() {
     const int nl = cfg_.forest.max_level + 1;
     level_leaves_.assign(nl, {});
@@ -379,75 +412,88 @@ class AmrSolver {
     for (int id : forest_.leaves())
       level_leaves_[forest_.level(id)].push_back(id);
     const auto& ops = exchanger_.ops();
-    for (int i = 0; i < static_cast<int>(ops.size()); ++i)
+    sub_block_ops_.assign(static_cast<std::size_t>(forest_.node_capacity()),
+                          {});
+    for (int i = 0; i < static_cast<int>(ops.size()); ++i) {
       level_ops_[forest_.level(ops[i].dst)].push_back(i);
+      sub_block_ops_[static_cast<std::size_t>(ops[i].dst)].push_back(i);
+    }
     for (const auto& bf : exchanger_.boundary_faces())
       level_bfaces_[forest_.level(bf.block)].push_back(bf);
   }
 
-  /// Fill the ghosts of all level-l blocks for time tau: same-level and
+  /// Apply one ghost op for a subcycled fill at time `tau`: same-level and
   /// finer sources are synchronized at tau (recursion invariant); coarser
   /// sources are interpolated linearly between their old (scratch_) and
   /// current (store_) states.
+  void apply_subcycled_op(const GhostOp<D>& op, double tau) {
+    if (op.kind != GhostOpKind::Prolong) {
+      exchanger_.apply(store_, op);
+      return;
+    }
+    const int src_level = forest_.level(op.dst) - 1;
+    const double t0 = level_t_old_[src_level];
+    const double t1 = level_t_cur_[src_level];
+    double theta = (t1 > t0) ? (tau - t0) / (t1 - t0) : 1.0;
+    theta = std::min(std::max(theta, 0.0), 1.0);
+    if (theta >= 1.0 - 1e-12) {
+      exchanger_.apply(store_, op);  // pure current state
+      return;
+    }
+    BlockView<D> dst = store_.view(op.dst);
+    ConstBlockView<D> cur = std::as_const(store_).view(op.src);
+    ConstBlockView<D> old = std::as_const(scratch_).view(op.src);
+    for (int v = 0; v < Phys::NVAR; ++v) {
+      for_each_cell<D>(op.dst_box, [&](IVec<D> q) {
+        IVec<D> gf = q + op.a;
+        IVec<D> cc, parity;
+        for (int d = 0; d < D; ++d) {
+          cc[d] = (gf[d] >> 1) - op.b[d];
+          parity[d] = gf[d] & 1;
+        }
+        const double vo = prolong_value<D>(old, v, cc, parity, op.valid,
+                                           exchanger_.prolongation());
+        const double vc = prolong_value<D>(cur, v, cc, parity, op.valid,
+                                           exchanger_.prolongation());
+        dst.at(v, q) = (1.0 - theta) * vo + theta * vc;
+      });
+    }
+  }
+
+  /// Fill the ghosts of all level-l blocks for time tau.
   void fill_level_ghosts(int l, double tau) {
     const auto& ops = exchanger_.ops();
-    const BlockLayout<D>& lay = store_.layout();
-    for (int i : level_ops_[l]) {
-      const GhostOp<D>& op = ops[i];
-      if (op.kind != GhostOpKind::Prolong) {
-        exchanger_.apply(store_, op);
-        continue;
-      }
-      const int src_level = l - 1;
-      const double t0 = level_t_old_[src_level];
-      const double t1 = level_t_cur_[src_level];
-      double theta = (t1 > t0) ? (tau - t0) / (t1 - t0) : 1.0;
-      theta = std::min(std::max(theta, 0.0), 1.0);
-      if (theta >= 1.0 - 1e-12) {
-        exchanger_.apply(store_, op);  // pure current state
-        continue;
-      }
-      BlockView<D> dst = store_.view(op.dst);
-      ConstBlockView<D> cur = std::as_const(store_).view(op.src);
-      ConstBlockView<D> old = std::as_const(scratch_).view(op.src);
-      for (int v = 0; v < Phys::NVAR; ++v) {
-        for_each_cell<D>(op.dst_box, [&](IVec<D> q) {
-          IVec<D> gf = q + op.a;
-          IVec<D> cc, parity;
-          for (int d = 0; d < D; ++d) {
-            cc[d] = (gf[d] >> 1) - op.b[d];
-            parity[d] = gf[d] & 1;
-          }
-          const double vo = prolong_value<D>(old, v, cc, parity, op.valid,
-                                             exchanger_.prolongation());
-          const double vc = prolong_value<D>(cur, v, cc, parity, op.valid,
-                                             exchanger_.prolongation());
-          dst.at(v, q) = (1.0 - theta) * vo + theta * vc;
-        });
-      }
-    }
+    for (int i : level_ops_[l]) apply_subcycled_op(ops[i], tau);
     apply_boundary_conditions<D>(store_, forest_, level_bfaces_[l], cfg_.bc,
                                  tau);
-    (void)lay;
   }
 
   /// Advance level l from t to t+dt, then recursively advance finer levels
   /// in two half-steps each.
   void advance_level(int l, int lmax, double t, double dt) {
-    fill_level_ghosts(l, t);
     const BlockLayout<D>& lay = store_.layout();
-    const RVec<D> dx = cell_dx(l);
-    for (int id : level_leaves_[l]) {
-      flops_ += fv_block_update<D, Phys>(lay, store_.view(id).base,
-                                         scratch_.view(id).base, phys_, dx,
-                                         dt, cfg_.order, cfg_.limiter,
-                                         cfg_.flux, nullptr, nullptr,
-                                         &kernel_scratch_[0]);
-      // Swap: store_ takes the new state; scratch_ keeps the old one
-      // (with its freshly filled ghosts) for finer-level interpolation.
-      store_.swap_block(scratch_, id);
-      ++block_updates_;
-      if (cfg_.apply_positivity_fix) fix_block(store_, id);
+    if (pool_ && !level_graphs_.empty()) {
+      sub_tau_ = t;
+      sub_dt_ = dt;
+      level_graphs_[static_cast<std::size_t>(l)].run(pool_.get());
+      flops_ += static_cast<std::uint64_t>(level_leaves_[l].size()) *
+                fv_update_flops<D, Phys>(lay, cfg_.order);
+      block_updates_ += static_cast<std::uint64_t>(level_leaves_[l].size());
+    } else {
+      fill_level_ghosts(l, t);
+      const RVec<D> dx = cell_dx(l);
+      for (int id : level_leaves_[l]) {
+        flops_ += fv_block_update<D, Phys>(lay, store_.view(id).base,
+                                           scratch_.view(id).base, phys_, dx,
+                                           dt, cfg_.order, cfg_.limiter,
+                                           cfg_.flux, nullptr, nullptr,
+                                           &kernel_scratch_[0]);
+        // Swap: store_ takes the new state; scratch_ keeps the old one
+        // (with its freshly filled ghosts) for finer-level interpolation.
+        store_.swap_block(scratch_, id);
+        ++block_updates_;
+        if (cfg_.apply_positivity_fix) fix_block(store_, id);
+      }
     }
     level_t_old_[l] = t;
     level_t_cur_[l] = t + dt;
@@ -461,6 +507,289 @@ class AmrSolver {
     const auto st = forest_.stats();
     advance_level(st.min_level, st.max_level, time_, dt);
     time_ += dt;
+  }
+
+  // ------------------------------------------------------------------
+  // Dependency-driven stepping (task graphs; pool_ only)
+  //
+  // A stage's work per leaf d splits into tasks with per-block edges
+  // instead of global phase barriers:
+  //
+  //   gh[d]   phase-1 ghost ops into d (SameCopy/Restrict — read source
+  //           interiors only) + d's boundary conditions (read d's own
+  //           interior, write d's boundary ghost slabs). No dependencies.
+  //   pr[d]   Prolong ops into d. Their slope stencils may read ghost
+  //           slabs of the coarse sources that phase 1 fills (op.valid
+  //           extends only into copy/restriction-filled slabs, never BC or
+  //           coarser ones), so pr[d] depends on gh[s] for each distinct
+  //           prolong source s — not on every phase-1 op globally.
+  //   in[d]   kernel update of the interior core (stencil radius <= ghost
+  //           never leaves owned cells). No dependencies: overlaps with
+  //           the whole exchange.
+  //   rim[d]  kernel update of the rim slabs (stencil reads d's ghost
+  //           ring): depends on gh[d] and pr[d]. When d records face
+  //           fluxes for refluxing it becomes one full-block update
+  //           instead (FaceFluxStorage is incompatible with sub-boxes)
+  //           and in[d] is omitted.
+  //   epi[d]  optional per-block epilogue (Heun combine into store_,
+  //           positivity fix): depends on in[d] and rim[d].
+  //
+  // Every task writes a region no concurrent task reads or writes: ghost
+  // ops into distinct destinations (and distinct faces of one destination)
+  // are disjoint, BC faces carry no exchange ops, core/rim tile the
+  // interior disjointly, and stage output goes to a different store than
+  // stage input. Sub-box kernel updates over a tiling are bitwise equal to
+  // one full-block update, so any execution order the scheduler picks
+  // yields bytes identical to the serial path.
+  //
+  // The graph is rebuilt per topology change; per-stage parameters (which
+  // store is input/output, dt, time, whether the epilogue combines/fixes)
+  // flow through ctx_, read by task bodies at run time.
+
+  struct StageCtx {
+    BlockStore<D>* in = nullptr;
+    BlockStore<D>* out = nullptr;
+    double dt = 0.0;
+    double t = 0.0;
+    bool combine = false;
+    bool fix = false;
+  };
+
+  /// One kernel call for block `id` (sub == nullptr: whole block).
+  void update_block(BlockStore<D>& in, BlockStore<D>& out, int id,
+                    const RVec<D>& dx, double dt, FaceFluxStorage<D>* ff,
+                    const Box<D>* sub) {
+    fv_block_update<D, Phys>(store_.layout(), in.view(id).base,
+                             out.view(id).base, phys_, dx, dt, cfg_.order,
+                             cfg_.limiter, cfg_.flux, ff, sub,
+                             &kernel_scratch_[static_cast<std::size_t>(
+                                 ThreadPool::this_thread_index())]);
+  }
+
+  /// Interior/rim overlap needs at least two hardware threads: with one
+  /// core the pool only time-slices and the split's rim-slab overhead is
+  /// pure loss (0 = unknown: assume multicore).
+  static bool overlap_pays() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 || hw >= 2;
+  }
+
+  void rebuild_graphs() {
+    if (!pool_) return;
+    bfaces_by_block_.assign(static_cast<std::size_t>(forest_.node_capacity()),
+                            {});
+    for (const auto& bf : exchanger_.boundary_faces())
+      bfaces_by_block_[static_cast<std::size_t>(bf.block)].push_back(bf);
+    if (cfg_.subcycling)
+      rebuild_level_graphs();
+    else
+      rebuild_stage_graph();
+  }
+
+  void rebuild_stage_graph() {
+    stage_graph_.clear();
+    if (cfg_.rk_stages == 2) {
+      if (!stage2_) stage2_ = std::make_unique<BlockStore<D>>(store_.layout());
+      for (int id : forest_.leaves()) stage2_->ensure(id);
+    }
+    const Box<D> core = exchanger_.interior_core();
+    const bool epilogue = !cfg_.flux_correction &&
+                          (cfg_.rk_stages == 2 || cfg_.apply_positivity_fix);
+    const std::vector<int>& leaves = forest_.leaves();
+    // A block's ghost fill needs its own task only if some finer block's
+    // prolongation reads those ghosts (slope stencils read copy- and
+    // restriction-filled ghost cells). Everyone else folds the fill into
+    // the block's update task — for a same-level-only region that leaves
+    // one fused task per block per stage with no dependencies at all.
+    std::vector<char> is_src(static_cast<std::size_t>(forest_.node_capacity()),
+                             0);
+    for (int d : leaves)
+      for (int s : exchanger_.prolong_sources(d))
+        is_src[static_cast<std::size_t>(s)] = 1;
+    std::vector<int> gh(static_cast<std::size_t>(forest_.node_capacity()), -1);
+    for (int d : leaves)
+      if (is_src[static_cast<std::size_t>(d)])
+        gh[static_cast<std::size_t>(d)] = stage_graph_.add([this, d] {
+          exchanger_.fill_block_phase1(*ctx_.in, d);
+          apply_boundary_conditions<D>(
+              *ctx_.in, forest_,
+              bfaces_by_block_[static_cast<std::size_t>(d)], cfg_.bc, ctx_.t);
+        });
+    for (int d : leaves) {
+      const RVec<D> dx = cell_dx(forest_.level(d));
+      const bool fuse_gh = !is_src[static_cast<std::size_t>(d)];
+      const bool has_pr = !exchanger_.prolong_sources(d).empty();
+      const bool record =
+          cfg_.flux_correction && flux_register_.needs_fluxes(d);
+      // Interior/rim splitting costs extra sweep-setup work on the thin rim
+      // slabs, so it is applied only where it buys overlap: blocks whose
+      // ghosts need interpolation from a coarse neighbor (the expensive,
+      // dependency-laden fills), and only when the hardware can actually
+      // run interior compute concurrently with the fill. Same-level-only
+      // blocks run as one task — their ghost fill is a handful of row
+      // copies with nothing to hide.
+      const bool split =
+          !record && !core.empty() && overlap_pays() && has_pr;
+      // Without a split the epilogue has a single producer: fold it in.
+      const bool fuse_epi = epilogue && !split;
+      int interior = -1;
+      if (split)
+        interior = stage_graph_.add([this, d, dx, core] {
+          update_block(*ctx_.in, *ctx_.out, d, dx, ctx_.dt, nullptr, &core);
+        });
+      const int rim = stage_graph_.add(
+          [this, d, dx, record, split, fuse_gh, has_pr, fuse_epi] {
+            if (fuse_gh) {
+              exchanger_.fill_block_phase1(*ctx_.in, d);
+              apply_boundary_conditions<D>(
+                  *ctx_.in, forest_,
+                  bfaces_by_block_[static_cast<std::size_t>(d)], cfg_.bc,
+                  ctx_.t);
+            }
+            if (has_pr) exchanger_.fill_block_prolong(*ctx_.in, d);
+            if (record) {
+              update_block(*ctx_.in, *ctx_.out, d, dx, ctx_.dt,
+                           &flux_register_.storage(d), nullptr);
+            } else if (!split) {
+              update_block(*ctx_.in, *ctx_.out, d, dx, ctx_.dt, nullptr,
+                           nullptr);
+            } else {
+              for (const Box<D>& b : exchanger_.rim_boxes())
+                update_block(*ctx_.in, *ctx_.out, d, dx, ctx_.dt, nullptr, &b);
+            }
+            if (fuse_epi) {
+              if (ctx_.combine)
+                combine_half(store_.view(d), std::as_const(*stage2_).view(d));
+              if (ctx_.fix) fix_block(ctx_.combine ? store_ : *ctx_.out, d);
+            }
+          });
+      if (!fuse_gh) stage_graph_.depends(rim, gh[static_cast<std::size_t>(d)]);
+      for (int s : exchanger_.prolong_sources(d))
+        stage_graph_.depends(rim, gh[static_cast<std::size_t>(s)]);
+      if (epilogue && split) {
+        const int epi = stage_graph_.add([this, d] {
+          if (ctx_.combine)
+            combine_half(store_.view(d), std::as_const(*stage2_).view(d));
+          if (ctx_.fix) fix_block(ctx_.combine ? store_ : *ctx_.out, d);
+        });
+        stage_graph_.depends(epi, interior);
+        stage_graph_.depends(epi, rim);
+      }
+    }
+  }
+
+  /// Run one stage through the graph: ctx_ must be set. Handles flux
+  /// pre-touch, flop accounting, and refluxing like run_stage.
+  void run_stage_graph() {
+    if (cfg_.flux_correction)
+      for (int id : forest_.leaves())
+        if (flux_register_.needs_fluxes(id)) flux_register_.storage(id);
+    stage_graph_.run(pool_.get());
+    flops_ += static_cast<std::uint64_t>(forest_.num_leaves()) *
+              fv_update_flops<D, Phys>(store_.layout(), cfg_.order);
+    block_updates_ += static_cast<std::uint64_t>(forest_.num_leaves());
+    // Corrections may touch one block from several faces: run serially.
+    if (cfg_.flux_correction) flux_register_.apply(*ctx_.out, ctx_.dt);
+  }
+
+  /// Threaded step: both Heun stages flow through the task graph. With
+  /// flux correction the combine/fix epilogues cannot fold into the graph
+  /// (they must see the refluxed stage result), so they run as post-passes
+  /// in the same order the serial path uses.
+  void step_graph(double dt) {
+    ctx_ = StageCtx{&store_, &scratch_, dt, time_, false,
+                    cfg_.apply_positivity_fix && !cfg_.flux_correction};
+    run_stage_graph();
+    if (cfg_.flux_correction && cfg_.apply_positivity_fix)
+      for_leaves([&](int id) { fix_block(scratch_, id); });
+    if (cfg_.rk_stages == 1) {
+      std::swap(store_, scratch_);
+      time_ += dt;
+      return;
+    }
+    for (int id : forest_.leaves()) stage2_->ensure(id);
+    ctx_ = StageCtx{&scratch_, stage2_.get(), dt, time_ + dt,
+                    !cfg_.flux_correction,
+                    cfg_.apply_positivity_fix && !cfg_.flux_correction};
+    run_stage_graph();
+    if (cfg_.flux_correction)
+      for_leaves([&](int id) {
+        combine_half(store_.view(id), std::as_const(*stage2_).view(id));
+        if (cfg_.apply_positivity_fix) fix_block(store_, id);
+      });
+    time_ += dt;
+  }
+
+  // Subcycling task graphs, one per level. The same interior/rim split
+  // applies, with two twists: ghost fills time-blend Prolong sources
+  // (apply_subcycled_op), and the rim task finishes by swapping the
+  // block's store_/scratch_ buffers and fixing positivity — publishing the
+  // new state. Because a same-level SameCopy into d' reads the OLD
+  // interior of its source s, the swap task R(s) also waits on F(d') for
+  // every same-level consumer d' (anti-dependency). Finer and coarser
+  // sources are not updated during this level's graph, so they need no
+  // edges.
+  void rebuild_level_graphs() {
+    const int nl = cfg_.forest.max_level + 1;
+    level_graphs_ = std::vector<TaskGraph>(static_cast<std::size_t>(nl));
+    const Box<D> core = exchanger_.interior_core();
+    const auto& ops = exchanger_.ops();
+    for (int l = 0; l < nl; ++l) {
+      TaskGraph& g = level_graphs_[static_cast<std::size_t>(l)];
+      const RVec<D> dx = cell_dx(l);
+      std::vector<int> fid(static_cast<std::size_t>(forest_.node_capacity()),
+                           -1);
+      std::vector<int> rid(static_cast<std::size_t>(forest_.node_capacity()),
+                           -1);
+      for (int d : level_leaves_[l])
+        fid[static_cast<std::size_t>(d)] = g.add([this, d] {
+          for (int i : sub_block_ops_[static_cast<std::size_t>(d)])
+            apply_subcycled_op(exchanger_.ops()[static_cast<std::size_t>(i)],
+                               sub_tau_);
+          apply_boundary_conditions<D>(
+              store_, forest_, bfaces_by_block_[static_cast<std::size_t>(d)],
+              cfg_.bc, sub_tau_);
+        });
+      for (int d : level_leaves_[l]) {
+        // Split only blocks with a time-blended coarse fill to hide (same
+        // heuristic as the stage graph: thin rim slabs cost sweep setup).
+        bool has_prolong = false;
+        for (int i : sub_block_ops_[static_cast<std::size_t>(d)])
+          if (ops[static_cast<std::size_t>(i)].kind == GhostOpKind::Prolong)
+            has_prolong = true;
+        const bool split = !core.empty() && overlap_pays() && has_prolong;
+        int interior = -1;
+        if (split)
+          interior = g.add([this, d, dx, core] {
+            update_block(store_, scratch_, d, dx, sub_dt_, nullptr, &core);
+          });
+        rid[static_cast<std::size_t>(d)] = g.add([this, d, dx, split] {
+          if (!split) {
+            update_block(store_, scratch_, d, dx, sub_dt_, nullptr, nullptr);
+          } else {
+            for (const Box<D>& b : exchanger_.rim_boxes())
+              update_block(store_, scratch_, d, dx, sub_dt_, nullptr, &b);
+          }
+          // Swap: store_ takes the new state; scratch_ keeps the old one
+          // (with its freshly filled ghosts) for finer-level interpolation.
+          store_.swap_block(scratch_, d);
+          if (cfg_.apply_positivity_fix) fix_block(store_, d);
+        });
+        g.depends(rid[static_cast<std::size_t>(d)],
+                  fid[static_cast<std::size_t>(d)]);
+        if (interior >= 0)
+          g.depends(rid[static_cast<std::size_t>(d)], interior);
+      }
+      // Anti-dependencies: s's swap waits until every same-level copy out
+      // of s has read the old state.
+      for (int d : level_leaves_[l])
+        for (int i : sub_block_ops_[static_cast<std::size_t>(d)]) {
+          const GhostOp<D>& op = ops[static_cast<std::size_t>(i)];
+          if (op.kind == GhostOpKind::SameCopy)
+            g.depends(rid[static_cast<std::size_t>(op.src)],
+                      fid[static_cast<std::size_t>(op.dst)]);
+        }
+    }
   }
 
   /// Run fn(leaf_id) for every leaf, in parallel when a pool exists.
@@ -507,16 +836,18 @@ class AmrSolver {
     if (cfg_.flux_correction) flux_register_.apply(out, dt);
   }
 
-  /// dst = (dst + src) / 2 over the interior.
+  /// dst = (dst + src) / 2 over the interior, as contiguous row loops.
   void combine_half(BlockView<D> dst, ConstBlockView<D> src) {
     const BlockLayout<D>& lay = store_.layout();
     const std::int64_t fs = lay.field_stride();
     for (int v = 0; v < Phys::NVAR; ++v) {
       double* d = dst.field(v);
       const double* s = src.base + v * fs;
-      for_each_cell<D>(lay.interior_box(), [&](IVec<D> p) {
+      for_each_row<D>(lay.interior_box(), [&](IVec<D> p, int n) {
         const std::int64_t off = lay.offset(p);
-        d[off] = 0.5 * (d[off] + s[off]);
+        double* AB_RESTRICT dr = d + off;
+        const double* AB_RESTRICT sr = s + off;
+        for (int i = 0; i < n; ++i) dr[i] = 0.5 * (dr[i] + sr[i]);
       });
     }
   }
@@ -527,12 +858,14 @@ class AmrSolver {
                   }) {
       BlockView<D> v = s.view(id);
       const std::int64_t fs = s.layout().field_stride();
-      for_each_cell<D>(s.layout().interior_box(), [&](IVec<D> p) {
-        const std::int64_t off = s.layout().offset(p);
-        State u;
-        for (int k = 0; k < Phys::NVAR; ++k) u[k] = v.base[k * fs + off];
-        if (phys_.fix_state(u, cfg_.rho_floor, cfg_.p_floor)) {
-          for (int k = 0; k < Phys::NVAR; ++k) v.base[k * fs + off] = u[k];
+      for_each_row<D>(s.layout().interior_box(), [&](IVec<D> p, int n) {
+        double* AB_RESTRICT row = v.base + s.layout().offset(p);
+        for (int i = 0; i < n; ++i) {
+          State u;
+          for (int k = 0; k < Phys::NVAR; ++k) u[k] = row[k * fs + i];
+          if (phys_.fix_state(u, cfg_.rho_floor, cfg_.p_floor)) {
+            for (int k = 0; k < Phys::NVAR; ++k) row[k * fs + i] = u[k];
+          }
         }
       });
     }
@@ -557,6 +890,14 @@ class AmrSolver {
   std::vector<std::vector<BoundaryFace>> level_bfaces_;
   std::vector<double> level_t_old_;
   std::vector<double> level_t_cur_;
+  // Task-graph stepping (populated only when pool_ exists).
+  TaskGraph stage_graph_;
+  StageCtx ctx_;
+  std::vector<std::vector<BoundaryFace>> bfaces_by_block_;
+  std::vector<TaskGraph> level_graphs_;       // per level, with subcycling
+  std::vector<std::vector<int>> sub_block_ops_;  // op indices per dst block
+  double sub_tau_ = 0.0;  // current substep fill time (set before each run)
+  double sub_dt_ = 0.0;   // current substep size
 };
 
 }  // namespace ab

@@ -159,6 +159,57 @@ void GhostExchanger<D>::rebuild() {
   phase1_count_ = 0;
   for (const auto& op : ops_)
     if (op.kind != GhostOpKind::Prolong) ++phase1_count_;
+
+  // Per-destination plan for the task-graph stepper: split each block's
+  // incoming ops by phase, preserving exec_order_'s relative order so the
+  // per-block path writes the same bytes in the same op order as fill(),
+  // and record the distinct Prolong sources (the dependency edges).
+  dst_phase1_.assign(static_cast<std::size_t>(forest_->node_capacity()), {});
+  dst_prolong_.assign(static_cast<std::size_t>(forest_->node_capacity()), {});
+  prolong_srcs_.assign(static_cast<std::size_t>(forest_->node_capacity()), {});
+  for (int i : exec_order_) {
+    const GhostOp<D>& op = ops_[static_cast<std::size_t>(i)];
+    const auto dst = static_cast<std::size_t>(op.dst);
+    if (op.kind == GhostOpKind::Prolong) {
+      dst_prolong_[dst].push_back(i);
+      auto& srcs = prolong_srcs_[dst];
+      if (std::find(srcs.begin(), srcs.end(), op.src) == srcs.end())
+        srcs.push_back(op.src);
+    } else {
+      dst_phase1_[dst].push_back(i);
+    }
+  }
+
+  // Interior/rim decomposition (layout geometry, same for every block): the
+  // core shrinks the interior by the ghost width so a radius<=ghost stencil
+  // stays inside owned cells; the rim is an onion peel of 2*D slabs, each
+  // dimension's pair shrunk in the already-peeled dimensions so the slabs
+  // are disjoint and tile interior minus core exactly. Dimension 0 is
+  // peeled last: the slabs thin in dimension 0 have short contiguous rows
+  // (poor per-row amortization in the sweep kernels), so peeling it last
+  // makes that pair as small as possible.
+  const int g = layout_.ghost;
+  rim_boxes_.clear();
+  bool has_core = true;
+  for (int d = 0; d < D; ++d)
+    if (layout_.interior[d] <= 2 * g) has_core = false;
+  if (!has_core) {
+    core_ = Box<D>{};
+    rim_boxes_.push_back(layout_.interior_box());
+  } else {
+    Box<D> cur = layout_.interior_box();
+    for (int d = D - 1; d >= 0; --d) {
+      Box<D> lo = cur;
+      lo.hi[d] = cur.lo[d] + g;
+      rim_boxes_.push_back(lo);
+      Box<D> hi = cur;
+      hi.lo[d] = cur.hi[d] - g;
+      rim_boxes_.push_back(hi);
+      cur.lo[d] += g;
+      cur.hi[d] -= g;
+    }
+    core_ = cur;
+  }
 }
 
 namespace {
@@ -217,16 +268,13 @@ void GhostExchanger<D>::apply_op(BlockStore<D>& store,
   const std::int64_t fs = lay.field_stride();
   const Box<D>& b = op.dst_box;
   if (b.empty()) return;
-  const int n = b.hi[0] - b.lo[0];  // row length along the unit-stride axis
-  Box<D> rows = b;
-  rows.hi[0] = rows.lo[0] + 1;
 
   switch (op.kind) {
     case GhostOpKind::SameCopy: {
       for (int v = 0; v < lay.nvar; ++v) {
         const double* s = src.base + v * fs;
         double* d = dst.base + v * fs;
-        for_each_cell<D>(rows, [&](IVec<D> q) {
+        for_each_row<D>(b, [&](IVec<D> q, int n) {
           std::memcpy(d + lay.offset(q), s + lay.offset(q + op.a),
                       sizeof(double) * static_cast<std::size_t>(n));
         });
@@ -245,7 +293,7 @@ void GhostExchanger<D>::apply_op(BlockStore<D>& store,
       for (int v = 0; v < lay.nvar; ++v) {
         const double* s = src.base + v * fs;
         double* d = dst.base + v * fs;
-        for_each_cell<D>(rows, [&](IVec<D> q) {
+        for_each_row<D>(b, [&](IVec<D> q, int n) {
           double* AB_RESTRICT dp = d + lay.offset(q);
           const double* AB_RESTRICT sp =
               s + lay.offset(q.shifted_left(1) + op.a);
@@ -265,7 +313,7 @@ void GhostExchanger<D>::apply_op(BlockStore<D>& store,
       for (int v = 0; v < lay.nvar; ++v) {
         const double* s = src.base + v * fs;
         double* d = dst.base + v * fs;
-        for_each_cell<D>(rows, [&](IVec<D> q) {
+        for_each_row<D>(b, [&](IVec<D> q, int n) {
           double* AB_RESTRICT dp = d + lay.offset(q);
           // Transverse coordinates are fixed along the row: precompute the
           // coarse cell, parity factor, and slope-validity per dimension.
@@ -375,6 +423,20 @@ void GhostExchanger<D>::fill_block(BlockStore<D>& store, int dst) const {
   AB_REQUIRE(dst >= 0 && dst < static_cast<int>(ops_by_dst_.size()),
              "fill_block: unknown block");
   for (int i : ops_by_dst_[dst]) apply_op(store, ops_[i]);
+}
+
+template <int D>
+void GhostExchanger<D>::fill_block_phase1(BlockStore<D>& store,
+                                          int dst) const {
+  for (int i : dst_phase1_[static_cast<std::size_t>(dst)])
+    apply_op(store, ops_[static_cast<std::size_t>(i)]);
+}
+
+template <int D>
+void GhostExchanger<D>::fill_block_prolong(BlockStore<D>& store,
+                                           int dst) const {
+  for (int i : dst_prolong_[static_cast<std::size_t>(dst)])
+    apply_op(store, ops_[static_cast<std::size_t>(i)]);
 }
 
 template <int D>

@@ -226,18 +226,14 @@ std::uint64_t fv_block_update(const BlockLayout<D>& lay, const double* uin,
   double* Fl = qR + NV * lane;     // numerical fluxes
 
   // Start from uout = uin on the update region (contiguous row copies).
-  {
-    Box<D> rows = interior;
-    rows.hi[0] = rows.lo[0] + 1;
-    for (int v = 0; v < NV; ++v) {
-      const double* src = uin + v * fs;
-      double* dst = uout + v * fs;
-      for_each_cell<D>(rows, [&](IVec<D> p) {
-        const std::int64_t off = lay.offset(p);
-        std::memcpy(dst + off, src + off,
-                    sizeof(double) * static_cast<std::size_t>(n0));
-      });
-    }
+  for (int v = 0; v < NV; ++v) {
+    const double* src = uin + v * fs;
+    double* dst = uout + v * fs;
+    for_each_row<D>(interior, [&](IVec<D> p, int n) {
+      const std::int64_t off = lay.offset(p);
+      std::memcpy(dst + off, src + off,
+                  sizeof(double) * static_cast<std::size_t>(n));
+    });
   }
 
   // Dimension-0 sweep: the pencil axis IS the sweep axis. Face i of a row

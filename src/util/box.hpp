@@ -144,4 +144,25 @@ void for_each_cell(const Box<D>& box, F&& f) {
   }
 }
 
+/// Iterate `box` one contiguous row at a time: `f(IVec<D> p, int n)` is
+/// invoked with the first point of each dimension-0 run and its length.
+/// Rows map to contiguous memory in block arrays, so callers turn the body
+/// into a stride-1 inner loop instead of recomputing an offset per cell.
+template <int D, class F>
+void for_each_row(const Box<D>& box, F&& f) {
+  if (box.empty()) return;
+  const int n = box.hi[0] - box.lo[0];
+  IVec<D> p = box.lo;
+  while (true) {
+    f(p, n);
+    int d = 1;
+    while (d < D) {
+      if (++p[d] < box.hi[d]) break;
+      p[d] = box.lo[d];
+      ++d;
+    }
+    if (d == D) return;
+  }
+}
+
 }  // namespace ab

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Build the concurrency-sensitive tests under ThreadSanitizer and run them.
+# Uses a dedicated build directory (build-tsan) so the normal Release build
+# stays untouched.
+#
+# Usage: tools/run_tsan_tests.sh [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build-tsan}"
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DAB_SANITIZE_THREAD=ON \
+  -DAB_NATIVE_ARCH=OFF
+
+targets=(thread_pool_test task_graph_test ghost_test ghost_batch_test
+         parallel_solver_test amr_solver_test subcycling_test
+         determinism_test)
+cmake --build "$build_dir" -j --target "${targets[@]}"
+
+ctest --test-dir "$build_dir" --output-on-failure \
+  -R 'ThreadPool|TaskGraph|Ghost|ParallelSolver|AmrSolver|Subcycling|Determinism'
