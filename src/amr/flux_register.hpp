@@ -17,6 +17,7 @@
 // with the exchange plan by construction.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/face_flux.hpp"
@@ -30,6 +31,18 @@ template <int D>
 class FluxRegister {
  public:
   static constexpr int kSubfaces = 1 << (D - 1);
+
+  /// One coarse/fine face correction. Public so distributed drivers can
+  /// walk the plan and route fine-side payloads between ranks (the plan is
+  /// identical on every rank; only the flux storage is rank-local).
+  struct Correction {
+    int coarse = -1;
+    int fine = -1;
+    int dim = 0;
+    int side = 0;
+    Box<D> cells;  ///< coarse interior cells adjacent to the corrected face
+    IVec<D> a;     ///< tangential fine-index offset (from the Restrict op)
+  };
 
   FluxRegister(const Forest<D>& forest, const BlockLayout<D>& layout)
       : forest_(&forest), layout_(layout) {}
@@ -71,58 +84,86 @@ class FluxRegister {
     return storage_[id];
   }
 
+  /// Doubles one correction's fine-side message carries: one area-averaged
+  /// flux per (coarse face cell, variable).
+  std::int64_t correction_doubles(const Correction& c) const {
+    return c.cells.volume() * layout_.nvar;
+  }
+
+  /// Sender-side evaluation: area-average the fine sub-face fluxes of
+  /// correction `c` into `buf` (c.cells in for_each_cell order, variables
+  /// innermost; correction_doubles entries). This is the message the fine
+  /// block's owner sends — averaging on the sender quarters (2D) or
+  /// eighths (3D) the wire bytes, matching the sender-side evaluation the
+  /// ghost exchange already uses.
+  void pack_fine_avg(const Correction& c, const FaceFluxStorage<D>& fine,
+                     double* buf) const {
+    const int nvar = layout_.nvar;
+    double* cursor = buf;
+    for_each_cell<D>(c.cells, [&](IVec<D> q) {
+      for (int v = 0; v < nvar; ++v) {
+        // Area-average of the fine sub-face fluxes covering coarse face
+        // cell q (fine face is the opposite side, 1 - c.side).
+        double favg = 0.0;
+        for (int mask = 0; mask < kSubfaces; ++mask) {
+          IVec<D> r;
+          int bit = 0;
+          for (int d = 0; d < D; ++d) {
+            if (d == c.dim) {
+              r[d] = 0;  // ignored by FaceIndexer
+              continue;
+            }
+            r[d] = 2 * q[d] + c.a[d] + ((mask >> bit) & 1);
+            ++bit;
+          }
+          favg += fine.at(c.dim, 1 - c.side, r, v);
+        }
+        *cursor++ = favg / kSubfaces;
+      }
+    });
+  }
+
+  /// Receiver-side: apply correction `c` to the coarse block's stage result
+  /// `uc`, with `favg` a packed fine-average payload (pack_fine_avg order)
+  /// and `coarse` the coarse block's own recorded fluxes.
+  void apply_correction(BlockView<D> uc, const Correction& c,
+                        const FaceFluxStorage<D>& coarse, const double* favg,
+                        double dt) const {
+    const int nvar = layout_.nvar;
+    RVec<D> dx = forest_->block_size(forest_->level(c.coarse));
+    for (int d = 0; d < D; ++d) dx[d] /= layout_.interior[d];
+    const double lambda = dt / dx[c.dim];
+    const double sign = c.side ? -1.0 : 1.0;
+    const double* cursor = favg;
+    for_each_cell<D>(c.cells, [&](IVec<D> q) {
+      for (int v = 0; v < nvar; ++v) {
+        const double fc = coarse.at(c.dim, c.side, q, v);
+        uc.at(v, q) += sign * lambda * (*cursor++ - fc);
+      }
+    });
+  }
+
   /// Apply all corrections to the stage result `u` advanced with timestep
   /// `dt`. Every involved block must have recorded fluxes this stage.
+  /// Routed through pack_fine_avg/apply_correction so the single-address-
+  /// space path and the rank-parallel message path share their arithmetic.
   void apply(BlockStore<D>& u, double dt) {
-    const int nvar = layout_.nvar;
+    std::vector<double> buf;
     for (const auto& c : corrections_) {
-      RVec<D> dx = forest_->block_size(forest_->level(c.coarse));
-      for (int d = 0; d < D; ++d) dx[d] /= layout_.interior[d];
-      const double lambda = dt / dx[c.dim];
-      const double sign = c.side ? -1.0 : 1.0;
       FaceFluxStorage<D>& coarse = storage(c.coarse);
       FaceFluxStorage<D>& fine = storage(c.fine);
       AB_REQUIRE(coarse.allocated() && fine.allocated(),
                  "FluxRegister::apply: fluxes were not recorded");
-      BlockView<D> uc = u.view(c.coarse);
-      for_each_cell<D>(c.cells, [&](IVec<D> q) {
-        for (int v = 0; v < nvar; ++v) {
-          // Area-average of the fine sub-face fluxes covering coarse face
-          // cell q (fine face is the opposite side, 1 - c.side).
-          double favg = 0.0;
-          for (int mask = 0; mask < kSubfaces; ++mask) {
-            IVec<D> r;
-            int bit = 0;
-            for (int d = 0; d < D; ++d) {
-              if (d == c.dim) {
-                r[d] = 0;  // ignored by FaceIndexer
-                continue;
-              }
-              r[d] = 2 * q[d] + c.a[d] + ((mask >> bit) & 1);
-              ++bit;
-            }
-            favg += fine.at(c.dim, 1 - c.side, r, v);
-          }
-          favg /= kSubfaces;
-          const double fc = coarse.at(c.dim, c.side, q, v);
-          uc.at(v, q) += sign * lambda * (favg - fc);
-        }
-      });
+      buf.resize(static_cast<std::size_t>(correction_doubles(c)));
+      pack_fine_avg(c, fine, buf.data());
+      apply_correction(u.view(c.coarse), c, coarse, buf.data(), dt);
     }
   }
 
+  const std::vector<Correction>& corrections() const { return corrections_; }
   int num_corrections() const { return static_cast<int>(corrections_.size()); }
 
  private:
-  struct Correction {
-    int coarse = -1;
-    int fine = -1;
-    int dim = 0;
-    int side = 0;
-    Box<D> cells;  ///< coarse interior cells adjacent to the corrected face
-    IVec<D> a;     ///< tangential fine-index offset (from the Restrict op)
-  };
-
   const Forest<D>* forest_;
   BlockLayout<D> layout_;
   std::vector<Correction> corrections_;

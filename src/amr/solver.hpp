@@ -27,6 +27,7 @@
 
 #include "amr/criteria.hpp"
 #include "amr/flux_register.hpp"
+#include "amr/stage_ops.hpp"
 #include "core/bc.hpp"
 #include "core/block_store.hpp"
 #include "core/forest.hpp"
@@ -836,39 +837,14 @@ class AmrSolver {
     if (cfg_.flux_correction) flux_register_.apply(out, dt);
   }
 
-  /// dst = (dst + src) / 2 over the interior, as contiguous row loops.
+  /// dst = (dst + src) / 2 over the interior (shared with RankSolver so the
+  /// rank-parallel path is bitwise identical by construction).
   void combine_half(BlockView<D> dst, ConstBlockView<D> src) {
-    const BlockLayout<D>& lay = store_.layout();
-    const std::int64_t fs = lay.field_stride();
-    for (int v = 0; v < Phys::NVAR; ++v) {
-      double* d = dst.field(v);
-      const double* s = src.base + v * fs;
-      for_each_row<D>(lay.interior_box(), [&](IVec<D> p, int n) {
-        const std::int64_t off = lay.offset(p);
-        double* AB_RESTRICT dr = d + off;
-        const double* AB_RESTRICT sr = s + off;
-        for (int i = 0; i < n; ++i) dr[i] = 0.5 * (dr[i] + sr[i]);
-      });
-    }
+    heun_combine_half<D, Phys>(dst, src);
   }
 
   void fix_block(BlockStore<D>& s, int id) {
-    if constexpr (requires(Phys ph, State u) {
-                    ph.fix_state(u, 0.0, 0.0);
-                  }) {
-      BlockView<D> v = s.view(id);
-      const std::int64_t fs = s.layout().field_stride();
-      for_each_row<D>(s.layout().interior_box(), [&](IVec<D> p, int n) {
-        double* AB_RESTRICT row = v.base + s.layout().offset(p);
-        for (int i = 0; i < n; ++i) {
-          State u;
-          for (int k = 0; k < Phys::NVAR; ++k) u[k] = row[k * fs + i];
-          if (phys_.fix_state(u, cfg_.rho_floor, cfg_.p_floor)) {
-            for (int k = 0; k < Phys::NVAR; ++k) row[k * fs + i] = u[k];
-          }
-        }
-      });
-    }
+    apply_positivity_fix<D, Phys>(phys_, s, id, cfg_.rho_floor, cfg_.p_floor);
   }
 
   Config cfg_;

@@ -8,9 +8,21 @@
 // code's choice, minimizing wire bytes), then unpacks on the receiver.
 // Local ops are applied directly.
 //
+// Two forms of fill are provided: the single-store form (every PE's blocks
+// in one address space, used by the accounting tests) and the multi-store
+// form used by RankSolver, where each simulated rank owns a private
+// BlockStore holding only its blocks — packing reads the source rank's
+// store, unpacking writes the destination rank's, and nothing else crosses
+// the rank boundary.
+//
 // The result is bit-identical to GhostExchanger::fill, and the message
 // counts/bytes match simulate_step's accounting exactly — tying the cost
 // model to real traffic (tests/parsim/buffered_exchange_test.cpp).
+//
+// MessageBoard below carries the non-ghost traffic of a distributed run —
+// flux-register correction payloads, coarsen gathers and prolongation
+// traffic at regrids, and block migration after re-partitioning — through
+// the same pack-all/unpack-all bulk-synchronous discipline.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +35,60 @@
 
 namespace ab {
 
+/// (src_pe, dst_pe)-keyed message buffers for traffic that is not a ghost
+/// fill: flux-register corrections, regrid gathers/prolongations, block
+/// migration. Senders append doubles to a channel; receivers read them back
+/// in the same order (each channel is a FIFO). One round = clear(), all
+/// sends, all receives — the bulk-synchronous exchange a distributed code
+/// performs; messages()/bytes() give the pair-aggregated traffic of the
+/// round for the cost model.
+class MessageBoard {
+ public:
+  void clear() { channels_.clear(); }
+
+  /// Append `n` doubles to the (src, dst) channel.
+  void send(int src, int dst, const double* data, std::int64_t n) {
+    AB_REQUIRE(src != dst, "MessageBoard: no self-messages");
+    Channel& ch = channels_[{src, dst}];
+    ch.data.insert(ch.data.end(), data, data + n);
+  }
+
+  /// Sequential read of `n` doubles from the (src, dst) channel; reads must
+  /// mirror the send order.
+  const double* receive(int src, int dst, std::int64_t n) {
+    auto it = channels_.find({src, dst});
+    AB_REQUIRE(it != channels_.end(), "MessageBoard: no such channel");
+    Channel& ch = it->second;
+    AB_REQUIRE(ch.read + static_cast<std::size_t>(n) <= ch.data.size(),
+               "MessageBoard: read past end of channel");
+    const double* p = ch.data.data() + ch.read;
+    ch.read += static_cast<std::size_t>(n);
+    return p;
+  }
+
+  /// Non-empty channels this round (pair-aggregated message count).
+  std::int64_t messages() const {
+    std::int64_t n = 0;
+    for (const auto& [key, ch] : channels_)
+      if (!ch.data.empty()) ++n;
+    return n;
+  }
+  /// Total wire bytes this round.
+  std::int64_t bytes() const {
+    std::int64_t n = 0;
+    for (const auto& [key, ch] : channels_)
+      n += static_cast<std::int64_t>(ch.data.size() * sizeof(double));
+    return n;
+  }
+
+ private:
+  struct Channel {
+    std::vector<double> data;
+    std::size_t read = 0;
+  };
+  std::map<std::pair<int, int>, Channel> channels_;
+};
+
 template <int D>
 class BufferedExchange {
  public:
@@ -31,6 +97,15 @@ class BufferedExchange {
                    std::vector<int> owner, int npes)
       : exchanger_(&exchanger), owner_(std::move(owner)), npes_(npes) {
     AB_REQUIRE(npes_ >= 1, "BufferedExchange: npes must be >= 1");
+    rebuild();
+  }
+
+  /// Rebind to a new block-to-PE map (after a regrid + re-partition) and
+  /// recompute the message layouts.
+  void set_owner(std::vector<int> owner, int npes) {
+    AB_REQUIRE(npes >= 1, "BufferedExchange: npes must be >= 1");
+    owner_ = std::move(owner);
+    npes_ = npes;
     rebuild();
   }
 
@@ -71,16 +146,31 @@ class BufferedExchange {
   /// Perform the exchange through the message buffers. Bit-identical to
   /// exchanger.fill(store).
   void fill(BlockStore<D>& store) {
+    fill_on([&store](int) -> BlockStore<D>& { return store; });
+  }
+
+  /// Rank-parallel form: `store_of(pe)` yields PE `pe`'s private store.
+  /// Local ops apply entirely within the owner's store; every cross-PE op
+  /// packs from the source PE's store and unpacks into the destination
+  /// PE's — the only data that crosses a rank boundary is message payload.
+  /// Phase structure matters: all phase-1 traffic (copies/restrictions,
+  /// which also fill the ghost slabs prolongation stencils may read) is
+  /// delivered before any prolongation is evaluated on its sender.
+  template <class StoreOf>
+  void fill_on(const StoreOf& store_of) {
     for (int phase = 0; phase < 2; ++phase) {
-      // Local ops.
-      for (int i : local_phase_[phase])
-        exchanger_->apply(store, exchanger_->ops()[i]);
+      // Local ops (src and dst on the same PE by construction).
+      for (int i : local_phase_[phase]) {
+        const auto& op = exchanger_->ops()[i];
+        exchanger_->apply(store_of(owner_at(op.src)), op);
+      }
       // Pack every cross-PE message for this phase...
       for (auto& msg : messages_) {
         double* cursor = msg.buffer.data();
+        BlockStore<D>& src_store = store_of(msg.src_pe);
         for (int i : msg.phase_ops[phase]) {
           const auto& op = exchanger_->ops()[i];
-          exchanger_->pack_op(store, op, cursor);
+          exchanger_->pack_op(src_store, op, cursor);
           cursor += exchanger_->op_payload_doubles(op);
         }
       }
@@ -88,9 +178,10 @@ class BufferedExchange {
       // what a bulk-synchronous exchange round does.
       for (auto& msg : messages_) {
         const double* cursor = msg.buffer.data();
+        BlockStore<D>& dst_store = store_of(msg.dst_pe);
         for (int i : msg.phase_ops[phase]) {
           const auto& op = exchanger_->ops()[i];
-          exchanger_->unpack_op(store, op, cursor);
+          exchanger_->unpack_op(dst_store, op, cursor);
           cursor += exchanger_->op_payload_doubles(op);
         }
       }

@@ -42,6 +42,15 @@ std::vector<int> partition_blocks(const Forest<D>& forest, int npes,
              "partition_blocks: weights size must match leaf count");
   std::vector<double> w = weights;
   if (w.empty()) w.assign(n, 1.0);
+  double total = 0.0;
+  for (double x : w) {
+    AB_REQUIRE(x >= 0.0, "partition_blocks: weights must be non-negative");
+    total += x;
+  }
+  // All-zero weights carry no cost information; treat them as uniform so
+  // the contiguous splitters don't divide by zero and GreedyLpt doesn't
+  // collapse every block onto PE 0.
+  if (total <= 0.0) w.assign(n, 1.0);
 
   std::vector<int> owner(static_cast<std::size_t>(forest.node_capacity()), -1);
 

@@ -23,7 +23,9 @@ enum class PartitionPolicy {
 /// Assign every leaf of `forest` to one of `npes` processors. Returns a
 /// vector indexed by node id (entries for non-leaf ids are -1). `weights`
 /// gives per-leaf cost; empty means uniform (the common case — all blocks
-/// have the same cell count).
+/// have the same cell count). Weights must be non-negative; an all-zero
+/// vector carries no cost information and is treated as uniform. `npes`
+/// may exceed the leaf count (the surplus PEs simply receive no blocks).
 template <int D>
 std::vector<int> partition_blocks(const Forest<D>& forest, int npes,
                                   PartitionPolicy policy,

@@ -1,0 +1,555 @@
+// Rank-parallel time stepping: the AmrSolver loop run with every leaf
+// owned by one of P simulated ranks.
+//
+// Each rank holds a private BlockStore containing only its blocks —
+// nothing crosses a rank boundary except message payload: ghost fills go
+// through BufferedExchange's buffers, flux-register corrections and
+// coarsen gathers through a MessageBoard, and re-partitioned blocks
+// migrate by pack/unpack of their interior cell data. The partition is
+// recomputed after every regrid (PartitionPolicy pluggable) and per-step
+// traffic/imbalance is priced on the MachineModel.
+//
+// The solver is bitwise identical to the single-address-space AmrSolver
+// (serial, no subcycling) by construction:
+//   - per-block kernel calls are unchanged and order-independent (each
+//     writes only its own block);
+//   - ghost values arriving by message are sender-side evaluations packed
+//     with the exact arithmetic GhostExchanger::fill uses (verified in
+//     tests/parsim/buffered_exchange_test.cpp);
+//   - flux corrections route through FluxRegister::pack_fine_avg /
+//     apply_correction — the same functions the serial apply() calls —
+//     and are applied in the serial plan order;
+//   - compute_dt's min fold is exact, so a rank-local reduction followed
+//     by a global min matches the serial leaf-order fold.
+// tests/parsim/rank_solver_test.cpp asserts this equivalence over
+// randomized forests, physics, policies, and rank counts.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "amr/flux_register.hpp"
+#include "amr/solver.hpp"
+#include "amr/stage_ops.hpp"
+#include "core/bc.hpp"
+#include "core/block_store.hpp"
+#include "core/forest.hpp"
+#include "core/ghost.hpp"
+#include "core/regrid_data.hpp"
+#include "parsim/block_migration.hpp"
+#include "parsim/buffered_exchange.hpp"
+#include "parsim/machine.hpp"
+#include "parsim/partition.hpp"
+#include "parsim/rank_accounting.hpp"
+#include "physics/kernel.hpp"
+#include "util/aligned.hpp"
+#include "util/error.hpp"
+
+namespace ab {
+
+template <int D, class Phys>
+class RankSolver {
+ public:
+  using State = typename Phys::State;
+  using SolverConfig = typename AmrSolver<D, Phys>::Config;
+
+  struct Config {
+    SolverConfig solver{};
+    int npes = 1;
+    PartitionPolicy policy = PartitionPolicy::Morton;
+    MachineModel machine = MachineModel::cray_t3d();
+  };
+
+  RankSolver(Config cfg, Phys phys)
+      : cfg_(std::move(cfg)),
+        phys_(std::move(phys)),
+        forest_(cfg_.solver.forest),
+        layout_(cfg_.solver.cells_per_block, cfg_.solver.ghost, Phys::NVAR),
+        exchanger_(forest_, layout_, cfg_.solver.prolongation),
+        owner_(partition_blocks<D>(forest_, cfg_.npes, cfg_.policy)),
+        buffered_(exchanger_, owner_, cfg_.npes) {
+    AB_REQUIRE(cfg_.npes >= 1, "RankSolver: npes must be >= 1");
+    AB_REQUIRE(cfg_.solver.rk_stages == 1 || cfg_.solver.rk_stages == 2,
+               "RankSolver: rk_stages must be 1 or 2");
+    AB_REQUIRE(
+        cfg_.solver.ghost >=
+            (cfg_.solver.order == SpatialOrder::Second ? 2 : 1),
+        "RankSolver: not enough ghost layers for the spatial order");
+    AB_REQUIRE(!cfg_.solver.subcycling,
+               "RankSolver: subcycling is not supported");
+    AB_REQUIRE(cfg_.solver.num_threads == 1,
+               "RankSolver: ranks are simulated serially");
+    stores_.reserve(static_cast<std::size_t>(cfg_.npes));
+    scratch_.reserve(static_cast<std::size_t>(cfg_.npes));
+    registers_.reserve(static_cast<std::size_t>(cfg_.npes));
+    for (int p = 0; p < cfg_.npes; ++p) {
+      stores_.emplace_back(layout_);
+      scratch_.emplace_back(layout_);
+      registers_.emplace_back(forest_, layout_);
+    }
+    if (use_stage2()) {
+      stage2_.reserve(static_cast<std::size_t>(cfg_.npes));
+      for (int p = 0; p < cfg_.npes; ++p) stage2_.emplace_back(layout_);
+    }
+    for (int id : forest_.leaves()) {
+      stores_[static_cast<std::size_t>(owner_at(id))].ensure(id);
+      scratch_[static_cast<std::size_t>(owner_at(id))].ensure(id);
+    }
+    rank_flops_.assign(static_cast<std::size_t>(cfg_.npes), 0);
+    rebuild_rank_structures();
+  }
+
+  // exchanger_/buffered_ hold pointers to members; moving would dangle.
+  RankSolver(const RankSolver&) = delete;
+  RankSolver& operator=(const RankSolver&) = delete;
+  RankSolver(RankSolver&&) = delete;
+  RankSolver& operator=(RankSolver&&) = delete;
+
+  Forest<D>& forest() { return forest_; }
+  const Forest<D>& forest() const { return forest_; }
+  const Config& config() const { return cfg_; }
+  const Phys& physics() const { return phys_; }
+  double time() const { return time_; }
+  std::uint64_t total_flops() const { return flops_; }
+  std::uint64_t block_updates() const { return block_updates_; }
+  int npes() const { return cfg_.npes; }
+  const std::vector<int>& owner() const { return owner_; }
+  int block_owner(int id) const { return owner_at(id); }
+  /// Read-only view of leaf `id` on its owning rank's store.
+  ConstBlockView<D> block_view(int id) const {
+    return stores_[static_cast<std::size_t>(owner_at(id))].view(id);
+  }
+  const RankStepCost& last_step_cost() const { return last_step_; }
+  const RegridCost& last_regrid_cost() const { return last_regrid_; }
+  const RankRunTotals& totals() const { return totals_; }
+
+  /// Cell size of a block at `level`.
+  RVec<D> cell_dx(int level) const {
+    RVec<D> dx = forest_.block_size(level);
+    for (int d = 0; d < D; ++d) dx[d] /= cfg_.solver.cells_per_block[d];
+    return dx;
+  }
+
+  /// Physical center of interior cell `p` of block `id`.
+  RVec<D> cell_center(int id, IVec<D> p) const {
+    RVec<D> lo = forest_.block_lo(id);
+    RVec<D> dx = cell_dx(forest_.level(id));
+    RVec<D> x;
+    for (int d = 0; d < D; ++d) x[d] = lo[d] + (p[d] + 0.5) * dx[d];
+    return x;
+  }
+
+  /// Set the solution from a point function evaluated at cell centers.
+  void init(const std::function<void(const RVec<D>&, State&)>& f) {
+    for (int id : forest_.leaves()) {
+      const int pe = owner_at(id);
+      stores_[static_cast<std::size_t>(pe)].ensure(id);
+      scratch_[static_cast<std::size_t>(pe)].ensure(id);
+      BlockView<D> v = stores_[static_cast<std::size_t>(pe)].view(id);
+      for_each_cell<D>(layout_.interior_box(), [&](IVec<D> p) {
+        State u{};
+        f(cell_center(id, p), u);
+        for (int k = 0; k < Phys::NVAR; ++k) v.at(k, p) = u[k];
+      });
+    }
+  }
+
+  /// Stable timestep (CFL over all blocks). Each rank scans its own blocks;
+  /// the min fold is exact, so folding in global leaf order gives the same
+  /// bits as any rank-local-then-global reduction.
+  double compute_dt() const {
+    double dt = 1e300;
+    for (int id : forest_.leaves()) {
+      const RVec<D> dx = cell_dx(forest_.level(id));
+      const double wave = block_wave_speed_sum<D, Phys>(
+          layout_, block_view(id).base, phys_, dx);
+      AB_REQUIRE(wave > 0.0, "compute_dt: zero wave speed");
+      dt = std::min(dt, cfg_.solver.cfl / wave);
+    }
+    return dt;
+  }
+
+  /// Advance one step of size `dt` (mirrors AmrSolver::step, serial path).
+  void step(double dt) {
+    RankStepCost sc;
+    sc.imbalance = load_imbalance(owner_, cfg_.npes);
+    rank_flops_.assign(static_cast<std::size_t>(cfg_.npes), 0);
+    // Stage 1: scratch = u + dt L(u).
+    fill_ghosts(stores_, time_, sc);
+    run_stage(stores_, scratch_, dt, sc);
+    if (cfg_.solver.rk_stages == 1) {
+      if (cfg_.solver.apply_positivity_fix)
+        for (int id : forest_.leaves()) fix_block(scratch_of(id), id);
+      for (int p = 0; p < cfg_.npes; ++p)
+        std::swap(stores_[static_cast<std::size_t>(p)],
+                  scratch_[static_cast<std::size_t>(p)]);
+      time_ += dt;
+      finish_step(sc);
+      return;
+    }
+    if (cfg_.solver.apply_positivity_fix)
+      for (int id : forest_.leaves()) fix_block(scratch_of(id), id);
+    // Stage 2 (Heun): u <- (u + (scratch + dt L(scratch))) / 2.
+    fill_ghosts(scratch_, time_ + dt, sc);
+    if (cfg_.solver.flux_correction) {
+      for (int id : forest_.leaves())
+        stage2_[static_cast<std::size_t>(owner_at(id))].ensure(id);
+      run_stage(scratch_, stage2_, dt, sc);
+      for (int id : forest_.leaves()) {
+        const int pe = owner_at(id);
+        heun_combine_half<D, Phys>(
+            stores_[static_cast<std::size_t>(pe)].view(id),
+            std::as_const(stage2_[static_cast<std::size_t>(pe)]).view(id));
+        if (cfg_.solver.apply_positivity_fix)
+          fix_block(stores_[static_cast<std::size_t>(pe)], id);
+      }
+    } else {
+      // Each rank's private stage-2 buffer (one block at a time, like the
+      // serial path).
+      AlignedBuffer tmp(static_cast<std::size_t>(layout_.block_doubles()));
+      for (int id : forest_.leaves()) {
+        const int pe = owner_at(id);
+        const RVec<D> dx = cell_dx(forest_.level(id));
+        const std::uint64_t f = fv_block_update<D, Phys>(
+            layout_, scratch_[static_cast<std::size_t>(pe)].view(id).base,
+            tmp.data(), phys_, dx, dt, cfg_.solver.order, cfg_.solver.limiter,
+            cfg_.solver.flux, nullptr, nullptr, &kernel_scratch_);
+        flops_ += f;
+        rank_flops_[static_cast<std::size_t>(pe)] += f;
+        heun_combine_half<D, Phys>(
+            stores_[static_cast<std::size_t>(pe)].view(id),
+            ConstBlockView<D>{tmp.data(), &layout_});
+        if (cfg_.solver.apply_positivity_fix)
+          fix_block(stores_[static_cast<std::size_t>(pe)], id);
+      }
+      block_updates_ += static_cast<std::uint64_t>(forest_.num_leaves());
+    }
+    time_ += dt;
+    finish_step(sc);
+  }
+
+  /// Advance with CFL-limited steps until `t_end` (or `max_steps`).
+  int advance_to(double t_end, int max_steps = 1000000) {
+    int steps = 0;
+    while (time_ < t_end && steps < max_steps) {
+      double dt = compute_dt();
+      if (time_ + dt > t_end) dt = t_end - time_;
+      step(dt);
+      ++steps;
+    }
+    return steps;
+  }
+
+  using AdaptResult = typename AmrSolver<D, Phys>::AdaptResult;
+
+  /// One adaptation cycle, mirroring AmrSolver::adapt: flag, refine (with
+  /// cascades), coarsen eligible families — then re-partition and migrate
+  /// blocks whose owner changed. Refined children are born on the parent's
+  /// rank; coarsening gathers remote siblings to the first child's rank
+  /// through the message board. Criteria read only the flagged block's own
+  /// data, so per-rank evaluation matches the single-store evaluation.
+  template <class Criterion>
+  AdaptResult adapt(const Criterion& criterion) {
+    AdaptResult res;
+    std::vector<std::pair<int, AdaptFlag>> flags;
+    flags.reserve(forest_.leaves().size());
+    for (int id : forest_.leaves())
+      flags.emplace_back(id, criterion(forest_, store_of(id), id));
+
+    // Refinement (cascades may refine additional blocks).
+    for (auto [id, flag] : flags) {
+      if (flag != AdaptFlag::Refine) continue;
+      if (!forest_.is_live(id) || !forest_.is_leaf(id)) continue;
+      if (forest_.level(id) >= cfg_.solver.forest.max_level) continue;
+      for (const auto& ev : forest_.refine(id)) {
+        const int pe = owner_at(ev.parent);
+        prolong_to_children<D>(stores_[static_cast<std::size_t>(pe)], ev,
+                               cfg_.solver.prolongation);
+        for (int c : ev.children) {
+          set_owner_entry(c, pe);
+          scratch_[static_cast<std::size_t>(pe)].ensure(c);
+        }
+        scratch_[static_cast<std::size_t>(pe)].release(ev.parent);
+        owner_[static_cast<std::size_t>(ev.parent)] = -1;
+        ++res.refined;
+      }
+    }
+
+    // Coarsening: same family selection as AmrSolver::adapt.
+    std::vector<int> parents;
+    for (auto [id, flag] : flags) {
+      if (flag != AdaptFlag::Coarsen) continue;
+      if (!forest_.is_live(id) || !forest_.is_leaf(id)) continue;
+      const int p = forest_.parent(id);
+      if (p < 0) continue;
+      if (forest_.child_index(id) != 0) continue;  // visit once per family
+      parents.push_back(p);
+    }
+    std::unordered_map<int, AdaptFlag> flag_map;
+    flag_map.reserve(flags.size());
+    for (auto [fid, fl] : flags) flag_map.emplace(fid, fl);
+    auto flag_of = [&](int id) {
+      auto it = flag_map.find(id);
+      return it == flag_map.end() ? AdaptFlag::Keep : it->second;
+    };
+    RegridCost rc;
+    board_.clear();
+    const std::int64_t payload = block_payload_doubles<D>(layout_);
+    std::vector<double> buf(static_cast<std::size_t>(payload));
+    for (int p : parents) {
+      if (!forest_.is_live(p) || forest_.is_leaf(p)) continue;
+      bool all = true;
+      const auto& kids = forest_.children(p);
+      for (int c : kids) {
+        if (!forest_.is_live(c) || !forest_.is_leaf(c) ||
+            flag_of(c) != AdaptFlag::Coarsen) {
+          all = false;
+          break;
+        }
+      }
+      if (!all || !forest_.can_coarsen(p)) continue;
+      // Gather remote siblings onto the surviving parent's rank (the first
+      // child's owner), then restrict locally there.
+      const int pe = owner_at(kids[0]);
+      for (int c : kids) {
+        const int cp = owner_at(c);
+        if (cp == pe) continue;
+        pack_block_payload<D>(stores_[static_cast<std::size_t>(cp)], c,
+                              buf.data());
+        board_.send(cp, pe, buf.data(), payload);
+        unpack_block_payload<D>(stores_[static_cast<std::size_t>(pe)], c,
+                                board_.receive(cp, pe, payload));
+        stores_[static_cast<std::size_t>(cp)].release(c);
+      }
+      restrict_to_parent<D>(stores_[static_cast<std::size_t>(pe)], p, kids);
+      scratch_[static_cast<std::size_t>(pe)].ensure(p);
+      for (int c : kids) {
+        scratch_[static_cast<std::size_t>(owner_at(c))].release(c);
+        owner_[static_cast<std::size_t>(c)] = -1;
+      }
+      set_owner_entry(p, pe);
+      forest_.coarsen(p);
+      ++res.coarsened;
+    }
+    rc.gather_messages = board_.messages();
+    rc.gather_bytes = board_.bytes();
+
+    if (res.refined || res.coarsened) {
+      forest_.rebuild_neighbor_table();
+      exchanger_.rebuild();
+      // Load re-balancing, as the paper prescribes after every adaptation:
+      // recompute the partition for the new leaf set and migrate every
+      // block whose owner changed.
+      rc.imbalance_before = load_imbalance(owner_, cfg_.npes);
+      std::vector<int> fresh =
+          partition_blocks<D>(forest_, cfg_.npes, cfg_.policy);
+      const MigrationStats ms =
+          migrate_blocks<D>(forest_.leaves(), owner_, fresh, stores_, board_);
+      for (int id : forest_.leaves()) {
+        const int a = owner_at(id);
+        const int b = fresh[static_cast<std::size_t>(id)];
+        if (a == b) continue;
+        scratch_[static_cast<std::size_t>(a)].release(id);
+        scratch_[static_cast<std::size_t>(b)].ensure(id);
+        if (use_stage2()) stage2_[static_cast<std::size_t>(a)].release(id);
+      }
+      owner_ = std::move(fresh);
+      buffered_.set_owner(owner_, cfg_.npes);
+      rebuild_rank_structures();
+      rc.migrated_blocks = ms.blocks;
+      rc.migration_messages = ms.messages;
+      rc.migration_bytes = ms.bytes;
+      rc.imbalance_after = load_imbalance(owner_, cfg_.npes);
+      last_regrid_ = rc;
+      totals_.add(rc);
+    }
+    return res;
+  }
+
+  /// Total of conserved variable `var` over the domain (global leaf order,
+  /// same fold as AmrSolver::total_conserved).
+  double total_conserved(int var) const {
+    double total = 0.0;
+    for (int id : forest_.leaves()) {
+      const RVec<D> dx = cell_dx(forest_.level(id));
+      double vol = 1.0;
+      for (int d = 0; d < D; ++d) vol *= dx[d];
+      ConstBlockView<D> v = block_view(id);
+      double s = 0.0;
+      for_each_cell<D>(layout_.interior_box(),
+                       [&](IVec<D> p) { s += v.at(var, p); });
+      total += s * vol;
+    }
+    return total;
+  }
+
+  /// Number of coarse/fine face corrections currently planned.
+  int flux_corrections_planned() const {
+    return registers_.front().num_corrections();
+  }
+
+ private:
+  bool use_stage2() const {
+    return cfg_.solver.rk_stages == 2 && cfg_.solver.flux_correction;
+  }
+
+  int owner_at(int id) const {
+    AB_REQUIRE(id >= 0 && id < static_cast<int>(owner_.size()) &&
+                   owner_[static_cast<std::size_t>(id)] >= 0,
+               "RankSolver: block without an owner");
+    return owner_[static_cast<std::size_t>(id)];
+  }
+
+  void set_owner_entry(int id, int pe) {
+    if (id >= static_cast<int>(owner_.size()))
+      owner_.resize(static_cast<std::size_t>(id) + 1, -1);
+    owner_[static_cast<std::size_t>(id)] = pe;
+  }
+
+  BlockStore<D>& store_of(int id) {
+    return stores_[static_cast<std::size_t>(owner_at(id))];
+  }
+  BlockStore<D>& scratch_of(int id) {
+    return scratch_[static_cast<std::size_t>(owner_at(id))];
+  }
+
+  /// Per-rank boundary-face lists (each rank applies BCs to its own
+  /// blocks); also rebuilds the per-rank flux-correction plans. Call after
+  /// every exchanger rebuild or partition change.
+  void rebuild_rank_structures() {
+    bfaces_by_pe_.assign(static_cast<std::size_t>(cfg_.npes), {});
+    for (const auto& bf : exchanger_.boundary_faces())
+      bfaces_by_pe_[static_cast<std::size_t>(owner_at(bf.block))].push_back(
+          bf);
+    if (cfg_.solver.flux_correction)
+      for (auto& r : registers_) r.rebuild(exchanger_);
+  }
+
+  /// Buffered ghost exchange across all ranks + per-rank BCs. BC faces
+  /// write only their own block's ghost slabs from its own data, so the
+  /// per-rank grouping is order-independent (bitwise equal to the serial
+  /// boundary-face order).
+  void fill_ghosts(std::vector<BlockStore<D>>& s, double t,
+                   RankStepCost& sc) {
+    buffered_.fill_on([&s](int pe) -> BlockStore<D>& {
+      return s[static_cast<std::size_t>(pe)];
+    });
+    for (int pe = 0; pe < cfg_.npes; ++pe)
+      apply_boundary_conditions<D>(s[static_cast<std::size_t>(pe)], forest_,
+                                   bfaces_by_pe_[static_cast<std::size_t>(pe)],
+                                   cfg_.solver.bc, t);
+    sc.ghost_messages += buffered_.messages_per_fill();
+    sc.ghost_bytes += buffered_.bytes_per_fill();
+  }
+
+  /// One forward-Euler stage over all blocks, each updated on its owning
+  /// rank: out = in + dt L(in). With flux correction, boundary-face fluxes
+  /// are recorded into the owner's register and corrections exchanged
+  /// through the message board.
+  void run_stage(std::vector<BlockStore<D>>& in,
+                 std::vector<BlockStore<D>>& out, double dt,
+                 RankStepCost& sc) {
+    const bool fc = cfg_.solver.flux_correction;
+    for (int id : forest_.leaves()) {
+      const int pe = owner_at(id);
+      const RVec<D> dx = cell_dx(forest_.level(id));
+      FluxRegister<D>& reg = registers_[static_cast<std::size_t>(pe)];
+      FaceFluxStorage<D>* ff =
+          (fc && reg.needs_fluxes(id)) ? &reg.storage(id) : nullptr;
+      const std::uint64_t f = fv_block_update<D, Phys>(
+          layout_, in[static_cast<std::size_t>(pe)].view(id).base,
+          out[static_cast<std::size_t>(pe)].view(id).base, phys_, dx, dt,
+          cfg_.solver.order, cfg_.solver.limiter, cfg_.solver.flux, ff,
+          nullptr, &kernel_scratch_);
+      flops_ += f;
+      rank_flops_[static_cast<std::size_t>(pe)] += f;
+    }
+    block_updates_ += static_cast<std::uint64_t>(forest_.num_leaves());
+    if (fc) exchange_and_apply_corrections(out, dt, sc);
+  }
+
+  /// Distributed refluxing round: every fine-side average is evaluated on
+  /// the fine block's owner (pack_fine_avg — the same arithmetic the
+  /// serial FluxRegister::apply uses) and shipped to the coarse owner;
+  /// corrections are applied in plan order, which is the serial apply
+  /// order (two faces of one coarse block can overlap in a corner cell,
+  /// so the order is part of the bitwise contract).
+  void exchange_and_apply_corrections(std::vector<BlockStore<D>>& out,
+                                      double dt, RankStepCost& sc) {
+    // Every rank's register rebuilds from the same exchanger plan, so the
+    // correction lists are identical; use rank 0's as the shared plan.
+    const auto& plan = registers_.front().corrections();
+    board_.clear();
+    std::vector<std::vector<double>> favg(plan.size());
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      const auto& c = plan[i];
+      const int pf = owner_at(c.fine);
+      FluxRegister<D>& reg = registers_[static_cast<std::size_t>(pf)];
+      favg[i].resize(static_cast<std::size_t>(reg.correction_doubles(c)));
+      reg.pack_fine_avg(c, reg.storage(c.fine), favg[i].data());
+      const int pc = owner_at(c.coarse);
+      if (pf != pc)
+        board_.send(pf, pc, favg[i].data(),
+                    static_cast<std::int64_t>(favg[i].size()));
+    }
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      const auto& c = plan[i];
+      const int pf = owner_at(c.fine);
+      const int pc = owner_at(c.coarse);
+      FluxRegister<D>& reg = registers_[static_cast<std::size_t>(pc)];
+      const double* payload =
+          (pf == pc)
+              ? favg[i].data()
+              : board_.receive(pf, pc,
+                               static_cast<std::int64_t>(favg[i].size()));
+      reg.apply_correction(
+          out[static_cast<std::size_t>(pc)].view(c.coarse), c,
+          reg.storage(c.coarse), payload, dt);
+    }
+    sc.flux_messages += board_.messages();
+    sc.flux_bytes += board_.bytes();
+  }
+
+  void fix_block(BlockStore<D>& s, int id) {
+    apply_positivity_fix<D, Phys>(phys_, s, id, cfg_.solver.rho_floor,
+                                  cfg_.solver.p_floor);
+  }
+
+  void finish_step(RankStepCost& sc) {
+    for (std::uint64_t f : rank_flops_) {
+      sc.flops += f;
+      sc.max_rank_flops = std::max(sc.max_rank_flops, f);
+    }
+    price_step(sc, cfg_.machine, cfg_.npes);
+    last_step_ = sc;
+    totals_.add(sc);
+  }
+
+  Config cfg_;
+  Phys phys_;
+  Forest<D> forest_;
+  BlockLayout<D> layout_;
+  GhostExchanger<D> exchanger_;
+  std::vector<int> owner_;  ///< node id -> rank (-1 for non-leaves)
+  BufferedExchange<D> buffered_;
+  MessageBoard board_;
+  std::vector<BlockStore<D>> stores_;   ///< one private store per rank
+  std::vector<BlockStore<D>> scratch_;  ///< per-rank stage-1 result
+  std::vector<BlockStore<D>> stage2_;   ///< per-rank stage-2 (refluxing only)
+  std::vector<FluxRegister<D>> registers_;  ///< per-rank flux recording
+  std::vector<std::vector<BoundaryFace>> bfaces_by_pe_;
+  AlignedScratch kernel_scratch_;
+  std::vector<std::uint64_t> rank_flops_;
+  double time_ = 0.0;
+  std::uint64_t flops_ = 0;
+  std::uint64_t block_updates_ = 0;
+  RankStepCost last_step_{};
+  RegridCost last_regrid_{};
+  RankRunTotals totals_;
+};
+
+}  // namespace ab

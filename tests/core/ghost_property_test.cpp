@@ -1,36 +1,32 @@
 // Property-based ghost-exchange tests over randomly adapted forests:
 // invariants that must hold for ANY legal topology, periodic or not.
+// Topologies come from the shared seeded generator (tests/support), so
+// every failure is reproducible from the printed seed.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <random>
 
 #include "core/bc.hpp"
 #include "core/ghost.hpp"
+#include "support/random_forest.hpp"
+#include "support/rng.hpp"
 
 namespace ab {
 namespace {
 
+using ab::testing::RandomForestOptions;
+using ab::testing::SplitMix64;
+
 template <int D>
 Forest<D> random_forest(unsigned seed, bool periodic, int max_level = 3) {
-  typename Forest<D>::Config cfg;
-  cfg.root_blocks = IVec<D>(2);
-  cfg.max_level = max_level;
-  if (periodic)
-    for (int d = 0; d < D; ++d) cfg.periodic[d] = true;
-  Forest<D> f(cfg);
-  std::mt19937 rng(seed);
-  for (int i = 0; i < 40; ++i) {
-    const auto& leaves = f.leaves();
-    const int id = leaves[rng() % leaves.size()];
-    if (rng() % 3 != 0) {
-      if (f.level(id) < max_level) f.refine(id);
-    } else {
-      const int p = f.parent(id);
-      if (p >= 0 && f.can_coarsen(p)) f.coarsen(p);
-    }
-  }
-  return f;
+  SplitMix64 rng(seed);
+  RandomForestOptions<D> opt;
+  opt.max_level = max_level;
+  opt.periodic = periodic;
+  opt.refine_bias = 3;  // ~3 of 4 attempts refine, like the seed generator
+  return ab::testing::random_forest<D>(rng, opt);
 }
 
 /// Constant fields survive any exchange exactly, everywhere, including
@@ -159,6 +155,112 @@ TEST(GhostPropertyPlan, SourceReadsStayInsideAllocations) {
     }
   }
 }
+
+// -------------------------------------------------------------------
+// Batched executor vs per-cell oracle, fuzzed over random refine/coarsen
+// sequences: GhostExchanger::fill must produce byte-identical blocks to
+// apply_reference run in the two-phase order, in every dimension, and
+// again after further topology churn + rebuild().
+
+template <int D>
+void fill_reference_ordered(const GhostExchanger<D>& gx, BlockStore<D>& s) {
+  for (const auto& op : gx.ops())
+    if (op.kind != GhostOpKind::Prolong) gx.apply_reference(s, op);
+  for (const auto& op : gx.ops())
+    if (op.kind == GhostOpKind::Prolong) gx.apply_reference(s, op);
+}
+
+/// Identical random values (interiors AND ghosts, so untouched ghost bytes
+/// can't mask a miss) into both stores for the current leaf set.
+template <int D>
+void seed_identical(const Forest<D>& f, BlockStore<D>& a, BlockStore<D>& b,
+                    SplitMix64& data) {
+  const BlockLayout<D>& lay = a.layout();
+  for (int id : f.leaves()) {
+    a.ensure(id);
+    b.ensure(id);
+    BlockView<D> va = a.view(id);
+    BlockView<D> vb = b.view(id);
+    const std::int64_t fs = lay.field_stride();
+    for_each_cell<D>(lay.ghosted_box(), [&](IVec<D> p) {
+      const std::int64_t off = lay.offset(p);
+      for (int var = 0; var < lay.nvar; ++var) {
+        const double x = data.uniform(-3.0, 3.0);
+        va.base[var * fs + off] = x;
+        vb.base[var * fs + off] = x;
+      }
+    });
+  }
+}
+
+template <int D>
+void check_batched_matches_oracle(unsigned seed, bool periodic) {
+  SplitMix64 rng(seed);
+  RandomForestOptions<D> opt;
+  opt.max_level = 3;
+  opt.periodic = periodic;
+  opt.steps = 30;
+  opt.refine_bias = 2;  // balanced refine/coarsen: visits re-coarsened grids
+  Forest<D> f = ab::testing::random_forest<D>(rng, opt);
+  BlockLayout<D> lay(IVec<D>(4), 2, 2);
+  GhostExchanger<D> gx(f, lay);
+  BlockStore<D> batched(lay), oracle(lay);
+  const std::size_t bytes =
+      static_cast<std::size_t>(lay.block_doubles()) * sizeof(double);
+  for (int round = 0; round < 2; ++round) {
+    seed_identical(f, batched, oracle, rng);
+    gx.fill(batched);
+    fill_reference_ordered(gx, oracle);
+    for (int id : f.leaves())
+      ASSERT_EQ(0, std::memcmp(batched.view(id).base, oracle.view(id).base,
+                               bytes))
+          << "block " << id << " round " << round << " seed " << seed;
+    if (round == 0) {
+      // More churn, then rebuild the plan in place and re-check.
+      for (int i = 0; i < 10; ++i) {
+        const auto& leaves = f.leaves();
+        const int id = leaves[rng.below(leaves.size())];
+        if (rng.below(2) == 0) {
+          if (f.level(id) < opt.max_level) f.refine(id);
+        } else {
+          const int p = f.parent(id);
+          if (p >= 0 && f.can_coarsen(p)) f.coarsen(p);
+        }
+      }
+      gx.rebuild();
+    }
+  }
+}
+
+class GhostOracle1D : public ::testing::TestWithParam<unsigned> {};
+class GhostOracle2D : public ::testing::TestWithParam<unsigned> {};
+class GhostOracle3D : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GhostOracle1D, BatchedMatchesReference) {
+  check_batched_matches_oracle<1>(GetParam(), false);
+}
+TEST_P(GhostOracle1D, BatchedMatchesReferencePeriodic) {
+  check_batched_matches_oracle<1>(GetParam(), true);
+}
+TEST_P(GhostOracle2D, BatchedMatchesReference) {
+  check_batched_matches_oracle<2>(GetParam(), false);
+}
+TEST_P(GhostOracle2D, BatchedMatchesReferencePeriodic) {
+  check_batched_matches_oracle<2>(GetParam(), true);
+}
+TEST_P(GhostOracle3D, BatchedMatchesReference) {
+  check_batched_matches_oracle<3>(GetParam(), false);
+}
+TEST_P(GhostOracle3D, BatchedMatchesReferencePeriodic) {
+  check_batched_matches_oracle<3>(GetParam(), true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GhostOracle1D,
+                         ::testing::Values(7u, 19u, 23u, 101u));
+INSTANTIATE_TEST_SUITE_P(Seeds, GhostOracle2D,
+                         ::testing::Values(7u, 19u, 23u, 101u));
+INSTANTIATE_TEST_SUITE_P(Seeds, GhostOracle3D,
+                         ::testing::Values(7u, 19u));
 
 }  // namespace
 }  // namespace ab

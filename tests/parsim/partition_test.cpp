@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 #include <set>
 
+#include "parsim/buffered_exchange.hpp"
 #include "parsim/workload.hpp"
 
 namespace ab {
@@ -135,6 +137,118 @@ TEST(Partition, HilbertKeepsNeighborsTogether) {
   const int cut_rr =
       cut_edges(partition_blocks<2>(f, npes, PartitionPolicy::RoundRobin));
   EXPECT_LT(cut_h, cut_rr / 2);
+}
+
+class PartitionEdgeCases : public ::testing::TestWithParam<PartitionPolicy> {
+};
+
+TEST_P(PartitionEdgeCases, MorePesThanBlocks) {
+  // npes far above the leaf count: every leaf still gets exactly one
+  // owner, no policy doubles up while PEs sit empty, and the imbalance
+  // metric stays finite and exact (max load 1 against mean n/npes).
+  Forest<2>::Config cfg;
+  cfg.root_blocks = {2, 2};
+  Forest<2> f(cfg);  // 4 leaves
+  const int n = f.num_leaves();
+  for (int npes : {7, 16, 64}) {
+    auto owner = partition_blocks<2>(f, npes, GetParam());
+    std::map<int, int> count;
+    for (int id : f.leaves()) {
+      ASSERT_GE(owner[id], 0);
+      ASSERT_LT(owner[id], npes);
+      ++count[owner[id]];
+    }
+    for (auto [pe, c] : count) EXPECT_EQ(c, 1) << "PE " << pe;
+    EXPECT_DOUBLE_EQ(load_imbalance(owner, npes),
+                     static_cast<double>(npes) / n);
+  }
+}
+
+TEST_P(PartitionEdgeCases, AllZeroWeightsFallBackToUniform) {
+  // Zero total weight used to divide by zero in the contiguous splitters
+  // (NaN owner indices) and collapse GreedyLpt onto PE 0; it must instead
+  // behave exactly like the unweighted call.
+  Forest<2> f = make_forest(2);
+  const std::vector<double> zeros(static_cast<std::size_t>(f.num_leaves()),
+                                  0.0);
+  const auto with_zeros = partition_blocks<2>(f, 4, GetParam(), zeros);
+  const auto uniform = partition_blocks<2>(f, 4, GetParam());
+  EXPECT_EQ(with_zeros, uniform);
+  for (int id : f.leaves()) {
+    ASSERT_GE(with_zeros[id], 0);
+    ASSERT_LT(with_zeros[id], 4);
+  }
+  EXPECT_GE(load_imbalance(with_zeros, 4), 1.0);
+}
+
+TEST_P(PartitionEdgeCases, NonUniformWeightsStayValid) {
+  // Wildly skewed weights (including exact zeros for some blocks) must
+  // still produce a complete, in-range assignment and a finite imbalance.
+  Forest<2> f = make_forest(1);
+  std::vector<double> w(static_cast<std::size_t>(f.num_leaves()), 0.0);
+  for (std::size_t i = 0; i < w.size(); ++i)
+    w[i] = (i % 3 == 0) ? 100.0 : (i % 3 == 1) ? 0.01 : 0.0;
+  const int npes = 5;
+  auto owner = partition_blocks<2>(f, npes, GetParam(), w);
+  for (int id : f.leaves()) {
+    ASSERT_GE(owner[id], 0);
+    ASSERT_LT(owner[id], npes);
+  }
+  std::vector<double> wn(static_cast<std::size_t>(f.node_capacity()), 0.0);
+  const auto& leaves = f.leaves();
+  for (std::size_t i = 0; i < leaves.size(); ++i) wn[leaves[i]] = w[i];
+  const double imb = load_imbalance(owner, npes, wn);
+  EXPECT_GE(imb, 1.0);
+  EXPECT_TRUE(std::isfinite(imb));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PartitionEdgeCases,
+                         ::testing::ValuesIn(kAll));
+
+TEST(Partition, RejectsNegativeWeights) {
+  Forest<2> f = make_forest(0);
+  std::vector<double> w(static_cast<std::size_t>(f.num_leaves()), 1.0);
+  w[3] = -0.5;
+  EXPECT_THROW(partition_blocks<2>(f, 2, PartitionPolicy::Morton, w), Error);
+}
+
+TEST(Partition, EmptyPesDoNotBreakBufferedExchange) {
+  // A partition with idle PEs (npes > leaves) must still route every
+  // ghost op — local or through a message — to the right store slot.
+  Forest<2>::Config cfg;
+  cfg.root_blocks = {2, 2};
+  cfg.periodic = {true, true};
+  Forest<2> f(cfg);
+  f.refine(f.leaves()[0]);  // 7 leaves, coarse/fine faces included
+  BlockLayout<2> lay({4, 4}, 2, 2);
+  BlockStore<2> direct(lay), buffered(lay);
+  for (int id : f.leaves()) {
+    direct.ensure(id);
+    buffered.ensure(id);
+    BlockView<2> a = direct.view(id);
+    BlockView<2> b = buffered.view(id);
+    for_each_cell<2>(lay.interior_box(), [&](IVec<2> p) {
+      for (int var = 0; var < lay.nvar; ++var) {
+        const double x = 0.5 * id + 1.7 * var + 0.3 * p[0] - 0.9 * p[1];
+        a.at(var, p) = x;
+        b.at(var, p) = x;
+      }
+    });
+  }
+  GhostExchanger<2> gx(f, lay);
+  gx.fill(direct);
+  const int npes = 32;
+  BufferedExchange<2> bx(gx, partition_blocks<2>(f, npes, PartitionPolicy::Morton),
+                         npes);
+  bx.fill(buffered);
+  for (int id : f.leaves()) {
+    ConstBlockView<2> a = std::as_const(direct).view(id);
+    ConstBlockView<2> b = std::as_const(buffered).view(id);
+    for_each_cell<2>(lay.ghosted_box(), [&](IVec<2> p) {
+      ASSERT_EQ(a.at(0, p), b.at(0, p)) << "block " << id;
+      ASSERT_EQ(a.at(1, p), b.at(1, p)) << "block " << id;
+    });
+  }
 }
 
 TEST(Partition, RejectsBadArguments) {

@@ -1,0 +1,52 @@
+// Seeded random forest generator for property/fuzz tests.
+//
+// Performs a random sequence of refine/coarsen operations on a pristine
+// forest; every resulting topology satisfies the 2:1 level-difference
+// constraint by construction (Forest enforces it via cascades), so the
+// generator explores exactly the space of legal adaptive-block grids.
+// All randomness comes from the caller's SplitMix64 — a failing test is
+// reproducible from its seed.
+#pragma once
+
+#include "core/forest.hpp"
+#include "support/rng.hpp"
+
+namespace ab::testing {
+
+template <int D>
+struct RandomForestOptions {
+  IVec<D> root_blocks = IVec<D>(2);
+  int max_level = 3;
+  bool periodic = false;
+  /// Number of random refine-or-coarsen attempts.
+  int steps = 40;
+  /// Out of 4: how many attempts try to refine (the rest try to coarsen).
+  int refine_bias = 3;
+};
+
+/// Random 2:1-constrained forest. Each step picks a random leaf and either
+/// refines it (cascading as needed) or coarsens its sibling family when the
+/// constraint allows.
+template <int D>
+Forest<D> random_forest(SplitMix64& rng,
+                        const RandomForestOptions<D>& opt = {}) {
+  typename Forest<D>::Config cfg;
+  cfg.root_blocks = opt.root_blocks;
+  cfg.max_level = opt.max_level;
+  if (opt.periodic)
+    for (int d = 0; d < D; ++d) cfg.periodic[d] = true;
+  Forest<D> f(cfg);
+  for (int i = 0; i < opt.steps; ++i) {
+    const auto& leaves = f.leaves();
+    const int id = leaves[rng.below(leaves.size())];
+    if (static_cast<int>(rng.below(4)) < opt.refine_bias) {
+      if (f.level(id) < opt.max_level) f.refine(id);
+    } else {
+      const int p = f.parent(id);
+      if (p >= 0 && f.can_coarsen(p)) f.coarsen(p);
+    }
+  }
+  return f;
+}
+
+}  // namespace ab::testing

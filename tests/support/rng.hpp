@@ -1,0 +1,51 @@
+// Deterministic test RNG: splitmix64 (Steele, Lea, Flood 2014).
+//
+// Every randomized test in this repository derives ALL of its randomness
+// from one of these, seeded by a value the test prints on failure — so any
+// failing run is reproducible from its seed alone, on any platform (the
+// generator is pure 64-bit integer arithmetic, no libstdc++ distribution
+// dependence).
+#pragma once
+
+#include <cstdint>
+
+namespace ab::testing {
+
+/// One splitmix64 scramble step: maps any 64-bit value to a well-mixed one.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Minimal sequential generator over splitmix64.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    state_ += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, n); n must be > 0. Modulo bias is irrelevant at
+  /// test-sized n.
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+  /// Uniform double in [0, 1).
+  double unit() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * unit(); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace ab::testing
