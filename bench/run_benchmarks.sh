@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
-# Run the kernel microbenchmarks and write BENCH_kernels.json at the repo
-# root: the current run ("after") plus, when the committed seed baseline
-# (bench/BENCH_kernels_seed.json) is present, the seed numbers ("before")
-# and a per-benchmark speedup_vs_seed ratio.
+# Run the kernel microbenchmarks and write, at the repo root:
+#   BENCH_kernels.json  the current run ("after") plus, when the committed
+#                       seed baseline (bench/BENCH_kernels_seed.json) is
+#                       present, the seed numbers ("before") and a
+#                       per-benchmark speedup_vs_seed ratio;
+#   BENCH_solver.json   the end-to-end BM_SolverStep results alone (the
+#                       thread-scaling numbers docs/PERFORMANCE.md quotes).
+# Both carry a "host" block (compiler, flags, nproc, git sha) so numbers
+# are attributable to the machine and build that produced them.
 #
 # Usage: bench/run_benchmarks.sh [build-dir] [extra bench_kernels args...]
 # Extra args are passed to bench_kernels; with --benchmark_repetitions=N
@@ -26,14 +31,35 @@ raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 "$build_dir/bench/bench_kernels" --benchmark_format=json "$@" > "$raw"
 
+# Host metadata stamped into both output files.
+compiler="$(c++ --version 2>/dev/null | head -1 || echo unknown)"
+native_arch="$(grep -E '^AB_NATIVE_ARCH:BOOL=' "$build_dir/CMakeCache.txt" \
+  2>/dev/null | cut -d= -f2 || echo unknown)"
+cxx_flags="$(grep -E '^CMAKE_CXX_FLAGS_RELEASE:' "$build_dir/CMakeCache.txt" \
+  2>/dev/null | cut -d= -f2- || true)"
+git_sha="$(git -C "$repo_root" rev-parse HEAD 2>/dev/null || echo unknown)"
+ncpu="$(nproc 2>/dev/null || echo unknown)"
+
 seed="$repo_root/bench/BENCH_kernels_seed.json"
 out="$repo_root/BENCH_kernels.json"
-python3 - "$raw" "$seed" "$out" <<'EOF'
-import json, sys
+solver_out="$repo_root/BENCH_solver.json"
+AB_BENCH_COMPILER="$compiler" AB_BENCH_NATIVE_ARCH="$native_arch" \
+AB_BENCH_CXX_FLAGS="$cxx_flags" AB_BENCH_GIT_SHA="$git_sha" \
+AB_BENCH_NPROC="$ncpu" \
+python3 - "$raw" "$seed" "$out" "$solver_out" <<'EOF'
+import json, os, sys
 
-raw_path, seed_path, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
+raw_path, seed_path, out_path, solver_path = sys.argv[1:5]
 after = json.load(open(raw_path))
-doc = {"context": after.get("context", {}), "after": after.get("benchmarks", [])}
+host = {
+    "compiler": os.environ.get("AB_BENCH_COMPILER", "unknown"),
+    "native_arch": os.environ.get("AB_BENCH_NATIVE_ARCH", "unknown"),
+    "cxx_flags_release": os.environ.get("AB_BENCH_CXX_FLAGS", ""),
+    "nproc": os.environ.get("AB_BENCH_NPROC", "unknown"),
+    "git_sha": os.environ.get("AB_BENCH_GIT_SHA", "unknown"),
+}
+doc = {"context": after.get("context", {}), "host": host,
+       "after": after.get("benchmarks", [])}
 
 def representative(benchmarks):
     """name -> items_per_second, preferring the median aggregate when the
@@ -71,4 +97,12 @@ json.dump(doc, open(out_path, "w"), indent=1)
 print(f"wrote {out_path}")
 for name, ratio in doc.get("speedup_vs_seed", {}).items():
     print(f"  {name}: {ratio:.2f}x vs seed")
+
+# The end-to-end solver-step numbers get their own file: these are the
+# whole-driver (ghost exchange + task graph + kernels) results, by thread
+# count, that regressions in anything outside the kernels show up in.
+solver = [b for b in doc["after"] if b["name"].startswith("BM_SolverStep")]
+solver_doc = {"context": doc["context"], "host": host, "benchmarks": solver}
+json.dump(solver_doc, open(solver_path, "w"), indent=1)
+print(f"wrote {solver_path} ({len(solver)} BM_SolverStep entries)")
 EOF

@@ -6,20 +6,38 @@
 // conservation through the ConservationLedger, and monitors the Powell
 // scheme's div(B) error.
 //
-//   ./orszag_tang [steps=80]
+//   ./orszag_tang [steps=80] [--trace=FILE] [--report=FILE]
+//
+// --trace=FILE   collect phase/task spans and write a Chrome trace_event
+//                JSON file (open in chrome://tracing or Perfetto).
+// --report=FILE  append one JSON line per step (phase wall times, work
+//                counts, conservation-drift and div(B) gauges); see
+//                docs/OBSERVABILITY.md and tools/trace_summary.py.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "amr/diagnostics.hpp"
 #include "amr/solver.hpp"
 #include "io/output.hpp"
+#include "obs/telemetry.hpp"
 #include "physics/mhd.hpp"
 
 using namespace ab;
 
 int main(int argc, char** argv) {
-  const int steps = argc > 1 ? std::atoi(argv[1]) : 80;
+  int steps = 80;
+  std::string trace_path, report_path;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strncmp(argv[a], "--trace=", 8) == 0)
+      trace_path = argv[a] + 8;
+    else if (std::strncmp(argv[a], "--report=", 9) == 0)
+      report_path = argv[a] + 9;
+    else
+      steps = std::atoi(argv[a]);
+  }
 
   IdealMhd<2> phys;
   phys.gamma = 5.0 / 3.0;
@@ -32,6 +50,15 @@ int main(int argc, char** argv) {
   cfg.apply_positivity_fix = true;
   cfg.flux = FluxScheme::Hlld;  // five-wave MHD Riemann solver
   cfg.flux_correction = true;  // machine-exact conservation
+
+  obs::Telemetry tel;
+  const bool observe = !trace_path.empty() || !report_path.empty();
+  if (!trace_path.empty()) tel.trace.set_enabled(true);
+  if (!report_path.empty() && !tel.open_report(report_path)) {
+    std::fprintf(stderr, "cannot open report file %s\n", report_path.c_str());
+    return 1;
+  }
+  if (observe) cfg.telemetry = &tel;
   AmrSolver<2, IdealMhd<2>> solver(cfg, phys);
 
   // Classic Orszag-Tang setup on [0,1]^2 (units with mu0 = 1):
@@ -56,6 +83,13 @@ int main(int argc, char** argv) {
 
   std::printf("Orszag-Tang vortex, %d steps, flux-corrected AMR\n", steps);
   for (int i = 0; i < steps; ++i) {
+    if (observe) {
+      // Existing diagnostics ride along in the step record as gauges.
+      tel.metrics.gauge("diag.conservation_drift")
+          ->set(ledger.max_drift(solver.forest(), solver.store()));
+      tel.metrics.gauge("diag.max_divb_dx")
+          ->set(max_divergence_dx<2>(solver.forest(), solver.store(), 4));
+    }
     solver.step(solver.compute_dt());
     if (i % 4 == 3) solver.adapt(crit);
     if (i % 20 == 19) {
@@ -88,5 +122,14 @@ int main(int argc, char** argv) {
   write_cells_csv<2>("orszag_tang_final.csv", solver.forest(), solver.store(),
                      {"rho", "mx", "my", "mz", "bx", "by", "bz", "E"});
   std::printf("wrote orszag_tang_final.csv\n");
+  if (!trace_path.empty()) {
+    if (obs::write_chrome_trace(tel.trace, trace_path))
+      std::printf("wrote %s (%zu spans)\n", trace_path.c_str(),
+                  tel.trace.events().size());
+    else
+      std::fprintf(stderr, "cannot write trace file %s\n", trace_path.c_str());
+  }
+  if (!report_path.empty())
+    std::printf("wrote %s (1 record per step)\n", report_path.c_str());
   return 0;
 }

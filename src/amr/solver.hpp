@@ -15,6 +15,7 @@
 // are bitwise identical to the serial path.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
@@ -34,10 +35,12 @@
 #include "core/ghost.hpp"
 #include "core/regrid_data.hpp"
 #include "io/checkpoint.hpp"
+#include "obs/telemetry.hpp"
 #include "physics/kernel.hpp"
 #include "util/aligned.hpp"
 #include "util/error.hpp"
 #include "util/task_graph.hpp"
+#include "util/timer.hpp"
 
 namespace ab {
 
@@ -75,6 +78,12 @@ class AmrSolver {
     /// interpolated linearly in time between the coarse block's last two
     /// states. Requires rk_stages == 1 and no flux correction.
     bool subcycling = false;
+    /// Optional observability sink (phase traces, metrics, per-step JSONL
+    /// reports — see src/obs/ and docs/OBSERVABILITY.md). nullptr (the
+    /// default) keeps every instrumentation site a dead pointer test: no
+    /// clock reads, no allocation. Attaching one never changes numerics —
+    /// instrumentation only reads solver state.
+    obs::Telemetry* telemetry = nullptr;
   };
 
   AmrSolver(Config cfg, Phys phys)
@@ -121,7 +130,7 @@ class AmrSolver {
   const Config& config() const { return cfg_; }
   const Phys& physics() const { return phys_; }
   double time() const { return time_; }
-  std::uint64_t total_flops() const { return flops_; }
+  std::uint64_t total_flops() const { return flop_counter_.total(); }
   std::int64_t total_interior_cells() const {
     return static_cast<std::int64_t>(forest_.num_leaves()) *
            store_.layout().interior_cells();
@@ -159,9 +168,11 @@ class AmrSolver {
 
   /// Exchange ghosts and apply boundary conditions on the given store.
   void fill_ghosts(BlockStore<D>& s, double t) {
+    obs::PhaseScope ps(cfg_.telemetry, "ghost_exchange");
     exchanger_.fill(s, pool_.get());
     apply_boundary_conditions<D>(s, forest_, exchanger_.boundary_faces(),
                                  cfg_.bc, t);
+    account_ghost_plan();
   }
   void fill_ghosts() { fill_ghosts(store_, time_); }
 
@@ -170,6 +181,7 @@ class AmrSolver {
   /// to be stable at dt / 2^(l - lmin), so refined regions no longer
   /// throttle the whole grid.
   double compute_dt() const {
+    obs::PhaseScope ps(cfg_.telemetry, "compute_dt");
     const int lmin = forest_.stats().min_level;
     const std::vector<int>& leaves = forest_.leaves();
     // Per-block wave speeds are independent scans; run them on the pool and
@@ -201,8 +213,25 @@ class AmrSolver {
     return dt;
   }
 
-  /// Advance one step of size `dt`.
+  /// Advance one step of size `dt`. With a telemetry sink attached this
+  /// also times the step, tallies per-phase wall times, and appends one
+  /// StepReport record (if a report file is open); without one the
+  /// instrumentation collapses to pointer tests.
   void step(double dt) {
+    obs::Telemetry* const tel = cfg_.telemetry;
+    if (tel == nullptr) {
+      step_impl(dt);
+      return;
+    }
+    const std::int64_t t0 = tel->trace.now_ns();
+    const std::uint64_t updates0 = block_updates_;
+    const std::uint64_t flops0 = flop_counter_.total();
+    step_impl(dt);
+    emit_step_report(tel, dt, t0, updates0, flops0);
+  }
+
+ private:
+  void step_impl(double dt) {
     if (cfg_.subcycling) {
       step_subcycled(dt);
       return;
@@ -214,8 +243,12 @@ class AmrSolver {
     const BlockLayout<D>& lay = store_.layout();
     // Stage 1: scratch = u + dt L(u).
     fill_ghosts(store_, time_);
-    run_stage(store_, scratch_, dt);
+    {
+      obs::PhaseScope ps(cfg_.telemetry, "stage_update");
+      run_stage(store_, scratch_, dt);
+    }
     if (cfg_.rk_stages == 1) {
+      obs::PhaseScope ps(cfg_.telemetry, "epilogue");
       if (cfg_.apply_positivity_fix)
         for_leaves([&](int id) { fix_block(scratch_, id); });
       std::swap(store_, scratch_);
@@ -232,20 +265,24 @@ class AmrSolver {
       // escape hatch; the threaded combine needs per-block storage too.)
       if (!stage2_) stage2_ = std::make_unique<BlockStore<D>>(lay);
       for (int id : forest_.leaves()) stage2_->ensure(id);
-      run_stage(scratch_, *stage2_, dt);
+      {
+        obs::PhaseScope ps(cfg_.telemetry, "stage_update");
+        run_stage(scratch_, *stage2_, dt);
+      }
+      obs::PhaseScope ps(cfg_.telemetry, "epilogue");
       for_leaves([&](int id) {
         combine_half(store_.view(id), std::as_const(*stage2_).view(id));
         if (cfg_.apply_positivity_fix) fix_block(store_, id);
       });
     } else {
+      obs::PhaseScope ps(cfg_.telemetry, "stage_update");
       AlignedBuffer tmp(static_cast<std::size_t>(lay.block_doubles()));
       for (int id : forest_.leaves()) {
         const RVec<D> dx = cell_dx(forest_.level(id));
-        flops_ += fv_block_update<D, Phys>(lay, scratch_.view(id).base,
-                                           tmp.data(), phys_, dx, dt,
-                                           cfg_.order, cfg_.limiter,
-                                           cfg_.flux, nullptr, nullptr,
-                                           &kernel_scratch_[0]);
+        flop_counter_.add(fv_block_update<D, Phys>(
+            lay, scratch_.view(id).base, tmp.data(), phys_, dx, dt,
+            cfg_.order, cfg_.limiter, cfg_.flux, nullptr, nullptr,
+            &kernel_scratch_[0]));
         combine_half(store_.view(id),
                      ConstBlockView<D>{tmp.data(), &lay});
         if (cfg_.apply_positivity_fix) fix_block(store_, id);
@@ -254,6 +291,8 @@ class AmrSolver {
     }
     time_ += dt;
   }
+
+ public:
 
   /// Advance with CFL-limited steps until `t_end` (or `max_steps`).
   /// Returns the number of steps taken.
@@ -279,6 +318,7 @@ class AmrSolver {
   /// families. Block data is prolonged/restricted; ghosts are refilled.
   template <class Criterion>
   AdaptResult adapt(const Criterion& criterion) {
+    obs::PhaseScope ps(cfg_.telemetry, "regrid", "regrid");
     AdaptResult res;
     // Snapshot flags before mutating topology.
     std::vector<std::pair<int, AdaptFlag>> flags;
@@ -343,6 +383,14 @@ class AmrSolver {
       if (cfg_.flux_correction) flux_register_.rebuild(exchanger_);
       if (cfg_.subcycling) rebuild_level_structures();
       rebuild_graphs();
+    }
+    pending_refined_ += res.refined;
+    pending_coarsened_ += res.coarsened;
+    if (cfg_.telemetry != nullptr) {
+      cfg_.telemetry->metrics.counter("solver.refined")->add(
+          static_cast<std::uint64_t>(res.refined));
+      cfg_.telemetry->metrics.counter("solver.coarsened")->add(
+          static_cast<std::uint64_t>(res.coarsened));
     }
     return res;
   }
@@ -415,9 +463,13 @@ class AmrSolver {
     const auto& ops = exchanger_.ops();
     sub_block_ops_.assign(static_cast<std::size_t>(forest_.node_capacity()),
                           {});
+    level_op_kinds_.assign(static_cast<std::size_t>(nl), {});
     for (int i = 0; i < static_cast<int>(ops.size()); ++i) {
-      level_ops_[forest_.level(ops[i].dst)].push_back(i);
+      const int lvl = forest_.level(ops[i].dst);
+      level_ops_[lvl].push_back(i);
       sub_block_ops_[static_cast<std::size_t>(ops[i].dst)].push_back(i);
+      ++level_op_kinds_[static_cast<std::size_t>(lvl)]
+                       [static_cast<int>(ops[i].kind)];
     }
     for (const auto& bf : exchanger_.boundary_faces())
       level_bfaces_[forest_.level(bf.block)].push_back(bf);
@@ -476,19 +528,27 @@ class AmrSolver {
     if (pool_ && !level_graphs_.empty()) {
       sub_tau_ = t;
       sub_dt_ = dt;
-      level_graphs_[static_cast<std::size_t>(l)].run(pool_.get());
-      flops_ += static_cast<std::uint64_t>(level_leaves_[l].size()) *
-                fv_update_flops<D, Phys>(lay, cfg_.order);
+      {
+        obs::PhaseScope ps(cfg_.telemetry, "stage_graph");
+        level_graphs_[static_cast<std::size_t>(l)].run(pool_.get());
+      }
+      account_ghost_level(l);
+      flop_counter_.add(static_cast<std::uint64_t>(level_leaves_[l].size()) *
+                        fv_update_flops<D, Phys>(lay, cfg_.order));
       block_updates_ += static_cast<std::uint64_t>(level_leaves_[l].size());
     } else {
-      fill_level_ghosts(l, t);
+      {
+        obs::PhaseScope ps(cfg_.telemetry, "ghost_exchange");
+        fill_level_ghosts(l, t);
+      }
+      account_ghost_level(l);
+      obs::PhaseScope ps(cfg_.telemetry, "stage_update");
       const RVec<D> dx = cell_dx(l);
       for (int id : level_leaves_[l]) {
-        flops_ += fv_block_update<D, Phys>(lay, store_.view(id).base,
-                                           scratch_.view(id).base, phys_, dx,
-                                           dt, cfg_.order, cfg_.limiter,
-                                           cfg_.flux, nullptr, nullptr,
-                                           &kernel_scratch_[0]);
+        flop_counter_.add(fv_block_update<D, Phys>(
+            lay, store_.view(id).base, scratch_.view(id).base, phys_, dx, dt,
+            cfg_.order, cfg_.limiter, cfg_.flux, nullptr, nullptr,
+            &kernel_scratch_[0]));
         // Swap: store_ takes the new state; scratch_ keeps the old one
         // (with its freshly filled ghosts) for finer-level interpolation.
         store_.swap_block(scratch_, id);
@@ -585,6 +645,10 @@ class AmrSolver {
       rebuild_level_graphs();
     else
       rebuild_stage_graph();
+    obs::Tracer* const tr =
+        cfg_.telemetry != nullptr ? &cfg_.telemetry->trace : nullptr;
+    stage_graph_.set_tracer(tr, "block_task");
+    for (TaskGraph& g : level_graphs_) g.set_tracer(tr, "block_task");
   }
 
   void rebuild_stage_graph() {
@@ -685,12 +749,19 @@ class AmrSolver {
     if (cfg_.flux_correction)
       for (int id : forest_.leaves())
         if (flux_register_.needs_fluxes(id)) flux_register_.storage(id);
-    stage_graph_.run(pool_.get());
-    flops_ += static_cast<std::uint64_t>(forest_.num_leaves()) *
-              fv_update_flops<D, Phys>(store_.layout(), cfg_.order);
+    {
+      obs::PhaseScope ps(cfg_.telemetry, "stage_graph");
+      stage_graph_.run(pool_.get());
+    }
+    account_ghost_plan();
+    flop_counter_.add(static_cast<std::uint64_t>(forest_.num_leaves()) *
+                      fv_update_flops<D, Phys>(store_.layout(), cfg_.order));
     block_updates_ += static_cast<std::uint64_t>(forest_.num_leaves());
     // Corrections may touch one block from several faces: run serially.
-    if (cfg_.flux_correction) flux_register_.apply(*ctx_.out, ctx_.dt);
+    if (cfg_.flux_correction) {
+      obs::PhaseScope ps(cfg_.telemetry, "reflux");
+      flux_register_.apply(*ctx_.out, ctx_.dt);
+    }
   }
 
   /// Threaded step: both Heun stages flow through the task graph. With
@@ -701,8 +772,10 @@ class AmrSolver {
     ctx_ = StageCtx{&store_, &scratch_, dt, time_, false,
                     cfg_.apply_positivity_fix && !cfg_.flux_correction};
     run_stage_graph();
-    if (cfg_.flux_correction && cfg_.apply_positivity_fix)
+    if (cfg_.flux_correction && cfg_.apply_positivity_fix) {
+      obs::PhaseScope ps(cfg_.telemetry, "epilogue");
       for_leaves([&](int id) { fix_block(scratch_, id); });
+    }
     if (cfg_.rk_stages == 1) {
       std::swap(store_, scratch_);
       time_ += dt;
@@ -713,11 +786,13 @@ class AmrSolver {
                     !cfg_.flux_correction,
                     cfg_.apply_positivity_fix && !cfg_.flux_correction};
     run_stage_graph();
-    if (cfg_.flux_correction)
+    if (cfg_.flux_correction) {
+      obs::PhaseScope ps(cfg_.telemetry, "epilogue");
       for_leaves([&](int id) {
         combine_half(store_.view(id), std::as_const(*stage2_).view(id));
         if (cfg_.apply_positivity_fix) fix_block(store_, id);
       });
+    }
     time_ += dt;
   }
 
@@ -831,10 +906,13 @@ class AmrSolver {
                   ThreadPool::this_thread_index())]),
           std::memory_order_relaxed);
     });
-    flops_ += flops.load(std::memory_order_relaxed);
+    flop_counter_.add(flops.load(std::memory_order_relaxed));
     block_updates_ += static_cast<std::uint64_t>(forest_.num_leaves());
     // Corrections may touch one block from several faces: run serially.
-    if (cfg_.flux_correction) flux_register_.apply(out, dt);
+    if (cfg_.flux_correction) {
+      obs::PhaseScope ps(cfg_.telemetry, "reflux");
+      flux_register_.apply(out, dt);
+    }
   }
 
   /// dst = (dst + src) / 2 over the interior (shared with RankSolver so the
@@ -845,6 +923,83 @@ class AmrSolver {
 
   void fix_block(BlockStore<D>& s, int id) {
     apply_positivity_fix<D, Phys>(phys_, s, id, cfg_.rho_floor, cfg_.p_floor);
+  }
+
+  // ------------------------------------------------------------------
+  // Observability plumbing. All no-ops (single pointer test) when
+  // cfg_.telemetry is null.
+
+  /// Tally one full ghost fill (every op in the current plan) into this
+  /// step's per-kind counters.
+  void account_ghost_plan() {
+    if (cfg_.telemetry == nullptr) return;
+    const GhostPlanStats& st = exchanger_.plan_stats();
+    for (int k = 0; k < 3; ++k) ghost_ops_step_[k] += st.ops[k];
+  }
+
+  /// Tally one level fill (subcycled path) into this step's counters.
+  void account_ghost_level(int l) {
+    if (cfg_.telemetry == nullptr ||
+        static_cast<std::size_t>(l) >= level_op_kinds_.size())
+      return;
+    for (int k = 0; k < 3; ++k)
+      ghost_ops_step_[k] += level_op_kinds_[static_cast<std::size_t>(l)]
+                                           [static_cast<std::size_t>(k)];
+  }
+
+  /// Step epilogue when telemetry is attached: publish step metrics and,
+  /// if a report file is open, append one JSONL record. Phase times drain
+  /// from the telemetry's accumulator, so between-step work (compute_dt,
+  /// regrid) rides in the NEXT step's record under its own phase name.
+  void emit_step_report(obs::Telemetry* tel, double dt, std::int64_t t0,
+                        std::uint64_t updates0, std::uint64_t flops0) {
+    const double wall =
+        static_cast<double>(tel->trace.now_ns() - t0) * 1e-9;
+    const std::uint64_t updates = block_updates_ - updates0;
+    const std::uint64_t flops = flop_counter_.total() - flops0;
+    obs::MetricsRegistry& m = tel->metrics;
+    m.counter("solver.steps")->add(1);
+    m.counter("solver.block_updates")->add(updates);
+    m.counter("solver.flops")->add(flops);
+    m.counter("solver.ghost_copy_ops")
+        ->add(static_cast<std::uint64_t>(ghost_ops_step_[0]));
+    m.counter("solver.ghost_restrict_ops")
+        ->add(static_cast<std::uint64_t>(ghost_ops_step_[1]));
+    m.counter("solver.ghost_prolong_ops")
+        ->add(static_cast<std::uint64_t>(ghost_ops_step_[2]));
+    m.gauge("solver.dt")->set(dt);
+    m.gauge("solver.blocks")->set(static_cast<double>(forest_.num_leaves()));
+    m.histogram("solver.step_wall_s",
+                {1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0})
+        ->record(wall);
+    if (tel->report() != nullptr) {
+      obs::StepReport r;
+      r.step = step_index_;
+      r.t = time_;
+      r.dt = dt;
+      r.wall_s = wall;
+      r.blocks = forest_.num_leaves();
+      r.cells_updated =
+          static_cast<std::int64_t>(updates) * store_.layout().interior_cells();
+      r.refined = pending_refined_;
+      r.coarsened = pending_coarsened_;
+      r.ghost_copy_ops = ghost_ops_step_[0];
+      r.ghost_restrict_ops = ghost_ops_step_[1];
+      r.ghost_prolong_ops = ghost_ops_step_[2];
+      r.phase_s = tel->take_phase_times();
+      const obs::MetricsSnapshot snap = m.snapshot();
+      r.gauges = snap.gauges;
+      r.counters.reserve(snap.counters.size());
+      for (const auto& [name, v] : snap.counters)
+        r.counters.emplace_back(name, static_cast<std::int64_t>(v));
+      tel->report()->write(r);
+    } else {
+      tel->take_phase_times();  // reset the per-step accumulator regardless
+    }
+    ++step_index_;
+    pending_refined_ = 0;
+    pending_coarsened_ = 0;
+    ghost_ops_step_[0] = ghost_ops_step_[1] = ghost_ops_step_[2] = 0;
   }
 
   Config cfg_;
@@ -858,8 +1013,17 @@ class AmrSolver {
   std::unique_ptr<ThreadPool> pool_;       // when num_threads > 1
   std::vector<AlignedScratch> kernel_scratch_;  // one per pool thread
   double time_ = 0.0;
-  std::uint64_t flops_ = 0;
+  FlopCounter flop_counter_;  // thread-sharded; merged on total_flops()
   std::uint64_t block_updates_ = 0;
+  // Observability bookkeeping (only written when cfg_.telemetry != nullptr,
+  // except the cheap regrid tallies which adapt() always records).
+  std::int64_t step_index_ = 0;
+  int pending_refined_ = 0;    // regrid events since the last step report
+  int pending_coarsened_ = 0;
+  std::int64_t ghost_ops_step_[3] = {0, 0, 0};  // by GhostOpKind, this step
+  // Per-level ghost-op kind counts for the subcycled path (one level fill's
+  // worth); rebuilt with level structures.
+  std::vector<std::array<std::int64_t, 3>> level_op_kinds_;
   // Subcycling bookkeeping (empty unless cfg_.subcycling).
   std::vector<std::vector<int>> level_leaves_;
   std::vector<std::vector<int>> level_ops_;

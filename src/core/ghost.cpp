@@ -160,6 +160,13 @@ void GhostExchanger<D>::rebuild() {
   for (const auto& op : ops_)
     if (op.kind != GhostOpKind::Prolong) ++phase1_count_;
 
+  plan_stats_ = GhostPlanStats{};
+  for (const auto& op : ops_) {
+    const int k = static_cast<int>(op.kind);
+    ++plan_stats_.ops[k];
+    plan_stats_.cells[k] += op.cells();
+  }
+
   // Per-destination plan for the task-graph stepper: split each block's
   // incoming ops by phase, preserving exec_order_'s relative order so the
   // per-block path writes the same bytes in the same op order as fill(),

@@ -72,6 +72,14 @@ struct BoundaryFace {
   int side = 0;
 };
 
+/// Per-plan ghost-op accounting by kind (index = GhostOpKind). Recomputed
+/// with every plan rebuild; one full fill() executes exactly these ops, so
+/// drivers multiply by fills-per-step to account per-step ghost work.
+struct GhostPlanStats {
+  std::int64_t ops[3] = {0, 0, 0};    ///< op count by kind
+  std::int64_t cells[3] = {0, 0, 0};  ///< destination cells by kind
+};
+
 template <int D>
 class GhostExchanger {
  public:
@@ -163,6 +171,9 @@ class GhostExchanger {
   /// Total ghost cells moved per fill (for the communication model).
   std::int64_t total_cells() const;
 
+  /// Op/cell counts by kind for the current plan (one fill's worth).
+  const GhostPlanStats& plan_stats() const { return plan_stats_; }
+
   /// The interior sub-box whose update stencil (radius <= ghost) never
   /// reads ghost cells — runnable before any ghost op. Empty when some
   /// interior extent is <= 2*ghost (the whole block is rim).
@@ -193,6 +204,7 @@ class GhostExchanger {
   Box<D> core_;
   std::vector<Box<D>> rim_boxes_;
   std::vector<BoundaryFace> boundary_faces_;
+  GhostPlanStats plan_stats_;
 };
 
 extern template class GhostExchanger<1>;

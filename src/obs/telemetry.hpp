@@ -1,0 +1,99 @@
+// Telemetry: the facade solvers hold a nullable pointer to.
+//
+// One object bundles the three sinks — a Tracer (Chrome-trace spans), a
+// MetricsRegistry (counters/gauges/histograms), and an optional StepReport
+// JSONL writer — plus the per-step phase-time accumulator that feeds the
+// report. Solvers take `obs::Telemetry*` in their Config; nullptr (the
+// default) turns every instrumentation site into a pointer test, so a
+// default-configured run takes no clock reads, allocates nothing, and is
+// bitwise identical to an uninstrumented build. Attaching a Telemetry never
+// changes numerics either: instrumentation only reads solver state.
+//
+// Typical driver setup:
+//
+//   ab::obs::Telemetry tel;
+//   tel.trace.set_enabled(true);          // optional: span collection
+//   tel.open_report("steps.jsonl");       // optional: per-step records
+//   cfg.telemetry = &tel;
+//   ...run...
+//   ab::obs::write_chrome_trace(tel.trace, "trace.json");
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+
+namespace ab::obs {
+
+class Telemetry {
+ public:
+  Tracer trace;
+  MetricsRegistry metrics;
+
+  /// Open the per-step JSONL sink. Returns false if the file could not be
+  /// created (the sink is then left unset).
+  bool open_report(const std::string& path) {
+    auto w = std::make_unique<ReportWriter>(path);
+    if (!w->ok()) return false;
+    report_ = std::move(w);
+    return true;
+  }
+  ReportWriter* report() { return report_.get(); }
+
+  /// Accumulate a phase duration for the current step. Called by PhaseScope
+  /// from the stepping thread only (per-task spans on pool threads go to
+  /// the tracer, not here).
+  void add_phase_time(const char* name, double seconds) {
+    for (auto& [n, s] : phase_s_) {
+      if (n == name) {
+        s += seconds;
+        return;
+      }
+    }
+    phase_s_.emplace_back(name, seconds);
+  }
+
+  /// Drain the accumulated phase times (first-seen order) and reset.
+  std::vector<std::pair<std::string, double>> take_phase_times() {
+    std::vector<std::pair<std::string, double>> out;
+    out.swap(phase_s_);
+    return out;
+  }
+
+ private:
+  std::unique_ptr<ReportWriter> report_;
+  std::vector<std::pair<std::string, double>> phase_s_;
+};
+
+/// RAII solver-phase timer: one span into the tracer (if enabled) plus an
+/// entry in the telemetry's per-step phase accumulator. A null telemetry
+/// costs a single pointer test.
+class PhaseScope {
+ public:
+  PhaseScope(Telemetry* tel, const char* name, const char* cat = "phase")
+      : tel_(tel),
+        name_(name),
+        cat_(cat),
+        t0_ns_(tel != nullptr ? tel->trace.now_ns() : 0) {}
+  ~PhaseScope() {
+    if (tel_ == nullptr) return;
+    const std::int64_t t1 = tel_->trace.now_ns();
+    if (tel_->trace.enabled()) tel_->trace.record(name_, cat_, t0_ns_, t1);
+    tel_->add_phase_time(name_, static_cast<double>(t1 - t0_ns_) * 1e-9);
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Telemetry* tel_;
+  const char* name_;
+  const char* cat_;
+  std::int64_t t0_ns_;
+};
+
+}  // namespace ab::obs

@@ -1,0 +1,129 @@
+// Scoped phase tracer with per-thread event buffers.
+//
+// A Tracer collects completed spans (begin/end nanosecond pair, static name
+// and category strings, thread slot) into per-thread-slot buffers; merging
+// happens only at export time. The hot path is: one relaxed enabled() load,
+// two steady_clock reads, one uncontended mutex lock around a vector
+// push_back. A disabled tracer (the default) costs one pointer test and one
+// relaxed load per would-be span — no clock reads, no allocation — and a
+// null Telemetry skips even that, so instrumented library paths stay
+// bitwise-deterministic and effectively free when observability is off.
+//
+// Spans export to the Chrome trace_event JSON format (trace_json.cpp), which
+// chrome://tracing and Perfetto open directly.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/thread_slot.hpp"
+
+namespace ab::obs {
+
+/// One completed span. `name` and `cat` must be string literals (or
+/// otherwise outlive the tracer): events store the pointers only.
+struct TraceEvent {
+  const char* name;
+  const char* cat;
+  std::int64_t t0_ns;
+  std::int64_t t1_ns;
+  int tid;
+};
+
+class Tracer {
+ public:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Nanoseconds since tracer construction (steady clock).
+  std::int64_t now_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// Record a completed span. Safe from any thread; the caller is expected
+  /// to have checked enabled() (record itself does not).
+  void record(const char* name, const char* cat, std::int64_t t0_ns,
+              std::int64_t t1_ns) {
+    const int slot = this_thread_slot();
+    Shard& sh = shards_[static_cast<std::size_t>(slot)];
+    std::lock_guard<std::mutex> lk(sh.mu);
+    sh.events.push_back(TraceEvent{name, cat, t0_ns, t1_ns, slot});
+  }
+
+  /// Merged copy of all recorded events, sorted by begin time.
+  std::vector<TraceEvent> events() const {
+    std::vector<TraceEvent> out;
+    for (const Shard& sh : shards_) {
+      std::lock_guard<std::mutex> lk(sh.mu);
+      out.insert(out.end(), sh.events.begin(), sh.events.end());
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       if (a.t0_ns != b.t0_ns) return a.t0_ns < b.t0_ns;
+                       return a.tid < b.tid;
+                     });
+    return out;
+  }
+
+  void clear() {
+    for (Shard& sh : shards_) {
+      std::lock_guard<std::mutex> lk(sh.mu);
+      sh.events.clear();
+    }
+  }
+
+ private:
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+  };
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> enabled_{false};
+  std::array<Shard, kMaxThreadSlots> shards_{};
+};
+
+/// RAII span: times from construction to destruction into `tracer` (which
+/// may be null, or disabled — both cost no clock reads).
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, const char* name, const char* cat = "phase")
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr),
+        name_(name),
+        cat_(cat),
+        t0_ns_(tracer_ != nullptr ? tracer_->now_ns() : 0) {}
+  ~ScopedSpan() {
+    if (tracer_ != nullptr)
+      tracer_->record(name_, cat_, t0_ns_, tracer_->now_ns());
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  const char* cat_;
+  std::int64_t t0_ns_;
+};
+
+/// Chrome trace_event JSON ("X" complete events, microsecond timestamps).
+/// Open in chrome://tracing or https://ui.perfetto.dev.
+std::string chrome_trace_json(const Tracer& tracer);
+
+/// Write chrome_trace_json to `path` (truncates). Returns false on I/O
+/// failure.
+bool write_chrome_trace(const Tracer& tracer, const std::string& path);
+
+}  // namespace ab::obs

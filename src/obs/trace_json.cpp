@@ -1,0 +1,68 @@
+// Chrome trace_event exporter for obs::Tracer.
+//
+// Emits the JSON array form: one "X" (complete) event per recorded span,
+// timestamps/durations in microseconds, pid 0, tid = thread slot. The
+// format is documented in the Chromium trace_event spec and is read by
+// chrome://tracing and Perfetto verbatim.
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace ab::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Tracer& tracer) {
+  const std::vector<TraceEvent> events = tracer.events();
+  std::string out;
+  out.reserve(events.size() * 96 + 16);
+  out += "[";
+  char buf[128];
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"";
+    append_escaped(out, e.name);
+    out += "\",\"cat\":\"";
+    append_escaped(out, e.cat);
+    std::snprintf(buf, sizeof buf,
+                  "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,"
+                  "\"tid\":%d}",
+                  static_cast<double>(e.t0_ns) / 1e3,
+                  static_cast<double>(e.t1_ns - e.t0_ns) / 1e3, e.tid);
+    out += buf;
+  }
+  out += "\n]\n";
+  return out;
+}
+
+bool write_chrome_trace(const Tracer& tracer, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = chrome_trace_json(tracer);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace ab::obs

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/ghost.hpp"
+#include "parsim/rank_accounting.hpp"
 #include "util/error.hpp"
 
 namespace ab {
@@ -64,6 +65,23 @@ class MessageBoard {
     const double* p = ch.data.data() + ch.read;
     ch.read += static_cast<std::size_t>(n);
     return p;
+  }
+
+  /// Credit this round's traffic to its endpoints: each non-empty (src,
+  /// dst) channel counts one sent message for src and one received for dst,
+  /// with the channel's wire bytes on both sides. `t` must be sized to the
+  /// PE count; out-of-range endpoints are ignored.
+  void add_per_pe_traffic(std::vector<PeTraffic>& t) const {
+    for (const auto& [key, ch] : channels_) {
+      if (ch.data.empty()) continue;
+      const std::int64_t bytes =
+          static_cast<std::int64_t>(ch.data.size() * sizeof(double));
+      const auto [src, dst] = key;
+      if (src >= 0 && src < static_cast<int>(t.size()))
+        t[static_cast<std::size_t>(src)].add_sent(bytes);
+      if (dst >= 0 && dst < static_cast<int>(t.size()))
+        t[static_cast<std::size_t>(dst)].add_recv(bytes);
+    }
   }
 
   /// Non-empty channels this round (pair-aggregated message count).
@@ -199,6 +217,19 @@ class BufferedExchange {
     for (const auto& msg : messages_)
       n += msg.doubles * static_cast<std::int64_t>(sizeof(double));
     return n;
+  }
+
+  /// Credit one fill's traffic to its endpoints (same aggregation as
+  /// messages_per_fill/bytes_per_fill). `t` must be sized to the PE count.
+  void add_per_pe_traffic(std::vector<PeTraffic>& t) const {
+    for (const auto& msg : messages_) {
+      const std::int64_t bytes =
+          msg.doubles * static_cast<std::int64_t>(sizeof(double));
+      if (msg.src_pe >= 0 && msg.src_pe < static_cast<int>(t.size()))
+        t[static_cast<std::size_t>(msg.src_pe)].add_sent(bytes);
+      if (msg.dst_pe >= 0 && msg.dst_pe < static_cast<int>(t.size()))
+        t[static_cast<std::size_t>(msg.dst_pe)].add_recv(bytes);
+    }
   }
 
  private:

@@ -10,10 +10,30 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "parsim/machine.hpp"
 
 namespace ab {
+
+/// One simulated rank's share of a communication round (sender and receiver
+/// sides counted separately; messages are pair-aggregated like the cost
+/// model's).
+struct PeTraffic {
+  std::int64_t sent_messages = 0;
+  std::int64_t recv_messages = 0;
+  std::int64_t sent_bytes = 0;
+  std::int64_t recv_bytes = 0;
+
+  void add_sent(std::int64_t bytes) {
+    ++sent_messages;
+    sent_bytes += bytes;
+  }
+  void add_recv(std::int64_t bytes) {
+    ++recv_messages;
+    recv_bytes += bytes;
+  }
+};
 
 /// What one rank-parallel timestep moved and computed.
 struct RankStepCost {
@@ -24,6 +44,9 @@ struct RankStepCost {
   std::uint64_t flops = 0;          ///< total across ranks
   std::uint64_t max_rank_flops = 0; ///< slowest rank's share
   double imbalance = 1.0;           ///< block-count imbalance during the step
+  /// Per-rank sent/received traffic (index = rank id), all rounds of the
+  /// step: ghost fills plus flux-correction payloads.
+  std::vector<PeTraffic> per_rank;
 
   // Filled in by price_step():
   double t_compute = 0.0;    ///< slowest rank's compute time [s]

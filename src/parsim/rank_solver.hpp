@@ -35,6 +35,7 @@
 #include "amr/flux_register.hpp"
 #include "amr/solver.hpp"
 #include "amr/stage_ops.hpp"
+#include "obs/telemetry.hpp"
 #include "core/bc.hpp"
 #include "core/block_store.hpp"
 #include "core/forest.hpp"
@@ -175,20 +176,27 @@ class RankSolver {
 
   /// Advance one step of size `dt` (mirrors AmrSolver::step, serial path).
   void step(double dt) {
+    obs::Telemetry* const tel = cfg_.solver.telemetry;
+    const std::int64_t t0 = tel != nullptr ? tel->trace.now_ns() : 0;
+    const std::uint64_t updates0 = block_updates_;
     RankStepCost sc;
     sc.imbalance = load_imbalance(owner_, cfg_.npes);
+    sc.per_rank.assign(static_cast<std::size_t>(cfg_.npes), PeTraffic{});
     rank_flops_.assign(static_cast<std::size_t>(cfg_.npes), 0);
     // Stage 1: scratch = u + dt L(u).
     fill_ghosts(stores_, time_, sc);
     run_stage(stores_, scratch_, dt, sc);
     if (cfg_.solver.rk_stages == 1) {
-      if (cfg_.solver.apply_positivity_fix)
-        for (int id : forest_.leaves()) fix_block(scratch_of(id), id);
-      for (int p = 0; p < cfg_.npes; ++p)
-        std::swap(stores_[static_cast<std::size_t>(p)],
-                  scratch_[static_cast<std::size_t>(p)]);
+      {
+        obs::PhaseScope ps(tel, "epilogue");
+        if (cfg_.solver.apply_positivity_fix)
+          for (int id : forest_.leaves()) fix_block(scratch_of(id), id);
+        for (int p = 0; p < cfg_.npes; ++p)
+          std::swap(stores_[static_cast<std::size_t>(p)],
+                    scratch_[static_cast<std::size_t>(p)]);
+      }
       time_ += dt;
-      finish_step(sc);
+      finish_step(sc, dt, t0, updates0);
       return;
     }
     if (cfg_.solver.apply_positivity_fix)
@@ -199,6 +207,7 @@ class RankSolver {
       for (int id : forest_.leaves())
         stage2_[static_cast<std::size_t>(owner_at(id))].ensure(id);
       run_stage(scratch_, stage2_, dt, sc);
+      obs::PhaseScope ps(tel, "epilogue");
       for (int id : forest_.leaves()) {
         const int pe = owner_at(id);
         heun_combine_half<D, Phys>(
@@ -208,6 +217,7 @@ class RankSolver {
           fix_block(stores_[static_cast<std::size_t>(pe)], id);
       }
     } else {
+      obs::PhaseScope ps(tel, "stage_update");
       // Each rank's private stage-2 buffer (one block at a time, like the
       // serial path).
       AlignedBuffer tmp(static_cast<std::size_t>(layout_.block_doubles()));
@@ -229,7 +239,7 @@ class RankSolver {
       block_updates_ += static_cast<std::uint64_t>(forest_.num_leaves());
     }
     time_ += dt;
-    finish_step(sc);
+    finish_step(sc, dt, t0, updates0);
   }
 
   /// Advance with CFL-limited steps until `t_end` (or `max_steps`).
@@ -435,6 +445,7 @@ class RankSolver {
   /// boundary-face order).
   void fill_ghosts(std::vector<BlockStore<D>>& s, double t,
                    RankStepCost& sc) {
+    obs::PhaseScope ps(cfg_.solver.telemetry, "ghost_exchange");
     buffered_.fill_on([&s](int pe) -> BlockStore<D>& {
       return s[static_cast<std::size_t>(pe)];
     });
@@ -444,6 +455,7 @@ class RankSolver {
                                    cfg_.solver.bc, t);
     sc.ghost_messages += buffered_.messages_per_fill();
     sc.ghost_bytes += buffered_.bytes_per_fill();
+    buffered_.add_per_pe_traffic(sc.per_rank);
   }
 
   /// One forward-Euler stage over all blocks, each updated on its owning
@@ -453,6 +465,7 @@ class RankSolver {
   void run_stage(std::vector<BlockStore<D>>& in,
                  std::vector<BlockStore<D>>& out, double dt,
                  RankStepCost& sc) {
+    obs::PhaseScope ps(cfg_.solver.telemetry, "stage_update");
     const bool fc = cfg_.solver.flux_correction;
     for (int id : forest_.leaves()) {
       const int pe = owner_at(id);
@@ -512,6 +525,7 @@ class RankSolver {
     }
     sc.flux_messages += board_.messages();
     sc.flux_bytes += board_.bytes();
+    board_.add_per_pe_traffic(sc.per_rank);
   }
 
   void fix_block(BlockStore<D>& s, int id) {
@@ -519,7 +533,8 @@ class RankSolver {
                                   cfg_.solver.p_floor);
   }
 
-  void finish_step(RankStepCost& sc) {
+  void finish_step(RankStepCost& sc, double dt, std::int64_t t0,
+                   std::uint64_t updates0) {
     for (std::uint64_t f : rank_flops_) {
       sc.flops += f;
       sc.max_rank_flops = std::max(sc.max_rank_flops, f);
@@ -527,6 +542,63 @@ class RankSolver {
     price_step(sc, cfg_.machine, cfg_.npes);
     last_step_ = sc;
     totals_.add(sc);
+    obs::Telemetry* const tel = cfg_.solver.telemetry;
+    if (tel != nullptr) emit_step_telemetry(tel, sc, dt, t0, updates0);
+    ++step_index_;
+  }
+
+  /// Publish the step's traffic/imbalance through the metrics registry and
+  /// append a StepReport record (with per-rank traffic) if a report file is
+  /// open.
+  void emit_step_telemetry(obs::Telemetry* tel, const RankStepCost& sc,
+                           double dt, std::int64_t t0,
+                           std::uint64_t updates0) {
+    const double wall = static_cast<double>(tel->trace.now_ns() - t0) * 1e-9;
+    obs::MetricsRegistry& m = tel->metrics;
+    m.counter("rank.steps")->add(1);
+    m.counter("rank.ghost_messages")
+        ->add(static_cast<std::uint64_t>(sc.ghost_messages));
+    m.counter("rank.ghost_bytes")
+        ->add(static_cast<std::uint64_t>(sc.ghost_bytes));
+    m.counter("rank.flux_messages")
+        ->add(static_cast<std::uint64_t>(sc.flux_messages));
+    m.counter("rank.flux_bytes")
+        ->add(static_cast<std::uint64_t>(sc.flux_bytes));
+    m.counter("rank.flops")->add(sc.flops);
+    m.gauge("rank.load_imbalance")->set(sc.imbalance);
+    m.gauge("rank.t_step_model_s")->set(sc.t_step);
+    m.gauge("rank.efficiency")->set(sc.efficiency);
+    if (tel->report() != nullptr) {
+      obs::StepReport r;
+      r.step = step_index_;
+      r.t = time_;
+      r.dt = dt;
+      r.wall_s = wall;
+      r.blocks = forest_.num_leaves();
+      r.cells_updated =
+          static_cast<std::int64_t>(block_updates_ - updates0) *
+          layout_.interior_cells();
+      r.phase_s = tel->take_phase_times();
+      const obs::MetricsSnapshot snap = m.snapshot();
+      r.gauges = snap.gauges;
+      r.counters.reserve(snap.counters.size());
+      for (const auto& [name, v] : snap.counters)
+        r.counters.emplace_back(name, static_cast<std::int64_t>(v));
+      r.per_rank.reserve(sc.per_rank.size());
+      for (std::size_t p = 0; p < sc.per_rank.size(); ++p) {
+        const PeTraffic& t = sc.per_rank[p];
+        obs::RankTrafficRecord rec;
+        rec.rank = static_cast<int>(p);
+        rec.sent_messages = t.sent_messages;
+        rec.recv_messages = t.recv_messages;
+        rec.sent_bytes = t.sent_bytes;
+        rec.recv_bytes = t.recv_bytes;
+        r.per_rank.push_back(rec);
+      }
+      tel->report()->write(r);
+    } else {
+      tel->take_phase_times();
+    }
   }
 
   Config cfg_;
@@ -547,6 +619,7 @@ class RankSolver {
   double time_ = 0.0;
   std::uint64_t flops_ = 0;
   std::uint64_t block_updates_ = 0;
+  std::int64_t step_index_ = 0;
   RankStepCost last_step_{};
   RegridCost last_regrid_{};
   RankRunTotals totals_;

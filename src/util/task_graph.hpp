@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -56,6 +57,16 @@ class TaskGraph {
   int size() const { return static_cast<int>(tasks_.size()); }
   bool empty() const { return tasks_.empty(); }
 
+  /// Attach a tracer: every run() records one span per task (name `label`,
+  /// category "task") and one span per ready-queue stall — the time a
+  /// claimant waited on an unfilled ready slot (name "ready_stall",
+  /// category "stall"). Null (the default) or a disabled tracer costs one
+  /// pointer/flag test per run; task bodies execute untimed.
+  void set_tracer(obs::Tracer* tracer, const char* label = "task") {
+    tracer_ = tracer;
+    trace_label_ = label;
+  }
+
   void clear() {
     tasks_.clear();
     remaining_.clear();
@@ -77,8 +88,11 @@ class TaskGraph {
           tasks_[static_cast<std::size_t>(i)].num_deps,
           std::memory_order_relaxed);
 
+    obs::Tracer* const tr =
+        (tracer_ != nullptr && tracer_->enabled()) ? tracer_ : nullptr;
+
     if (pool == nullptr || pool->size() == 1) {
-      run_serial();
+      run_serial(tr);
       return;
     }
 
@@ -111,16 +125,27 @@ class TaskGraph {
         [&](std::int64_t k) {
           std::atomic<int>& slot = slots_[static_cast<std::size_t>(k)];
           int id = slot.load(std::memory_order_acquire);
-          for (int spin = 0; id < 0 && spin < 32; ++spin) {
-            std::this_thread::yield();
-            id = slot.load(std::memory_order_acquire);
-          }
-          while (id < 0) {
-            slot.wait(-1, std::memory_order_acquire);  // futex, not a spin
-            id = slot.load(std::memory_order_acquire);
+          if (id < 0) {
+            const std::int64_t w0 = tr != nullptr ? tr->now_ns() : 0;
+            for (int spin = 0; id < 0 && spin < 32; ++spin) {
+              std::this_thread::yield();
+              id = slot.load(std::memory_order_acquire);
+            }
+            while (id < 0) {
+              slot.wait(-1, std::memory_order_acquire);  // futex, not a spin
+              id = slot.load(std::memory_order_acquire);
+            }
+            if (tr != nullptr)
+              tr->record("ready_stall", "stall", w0, tr->now_ns());
           }
           Task& t = tasks_[static_cast<std::size_t>(id)];
-          t.fn();
+          if (tr != nullptr) {
+            const std::int64_t t0 = tr->now_ns();
+            t.fn();
+            tr->record(trace_label_, "task", t0, tr->now_ns());
+          } else {
+            t.fn();
+          }
           for (int s : t.successors)
             if (remaining_[static_cast<std::size_t>(s)].fetch_sub(
                     1, std::memory_order_acq_rel) == 1)
@@ -136,7 +161,7 @@ class TaskGraph {
     int num_deps = 0;
   };
 
-  void run_serial() {
+  void run_serial(obs::Tracer* tr) {
     const int n = size();
     std::vector<int> queue;
     queue.reserve(static_cast<std::size_t>(n));
@@ -144,7 +169,13 @@ class TaskGraph {
       if (tasks_[static_cast<std::size_t>(i)].num_deps == 0) queue.push_back(i);
     for (std::size_t qi = 0; qi < queue.size(); ++qi) {
       Task& t = tasks_[static_cast<std::size_t>(queue[qi])];
-      t.fn();
+      if (tr != nullptr) {
+        const std::int64_t t0 = tr->now_ns();
+        t.fn();
+        tr->record(trace_label_, "task", t0, tr->now_ns());
+      } else {
+        t.fn();
+      }
       for (int s : t.successors)
         if (remaining_[static_cast<std::size_t>(s)].fetch_sub(
                 1, std::memory_order_relaxed) == 1)
@@ -157,6 +188,8 @@ class TaskGraph {
   std::vector<Task> tasks_;
   std::vector<std::atomic<int>> remaining_;
   std::vector<std::atomic<int>> slots_;
+  obs::Tracer* tracer_ = nullptr;
+  const char* trace_label_ = "task";
 };
 
 }  // namespace ab

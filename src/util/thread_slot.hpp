@@ -1,0 +1,29 @@
+// Per-thread accumulation slots for observability counters.
+//
+// Telemetry shards (metrics counters, trace buffers, the FlopCounter) need a
+// cheap, stable "which thread am I" index that works for pool workers and
+// foreign threads alike. ThreadPool::this_thread_index() only covers pool
+// members, so this is a separate, process-wide assignment: the first touch
+// from a thread claims the next slot. Slots recycle modulo kMaxThreadSlots;
+// two threads sharing a slot is a performance hazard only, never a
+// correctness one — every slot-indexed store in the codebase is atomic or
+// mutex-guarded.
+#pragma once
+
+#include <atomic>
+
+namespace ab {
+
+/// Number of distinct accumulation slots. Sized for "threads we will ever
+/// reasonably run", not hardware_concurrency: slot sharing is safe.
+inline constexpr int kMaxThreadSlots = 64;
+
+/// Stable slot index of the calling thread in [0, kMaxThreadSlots).
+inline int this_thread_slot() {
+  static std::atomic<int> next{0};
+  thread_local const int slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kMaxThreadSlots;
+  return slot;
+}
+
+}  // namespace ab

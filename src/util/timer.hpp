@@ -5,8 +5,12 @@
 // simulated Cray T3D charges exactly the arithmetic the real kernels do.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+
+#include "util/thread_slot.hpp"
 
 namespace ab {
 
@@ -26,15 +30,31 @@ class Timer {
 };
 
 /// Accumulates a count of floating-point operations reported by kernels.
-/// Single-threaded by design (the simulator is sequential).
+/// Safe under the threaded task-graph path: add() is a relaxed increment of
+/// the calling thread's cache-line-padded slot (util/thread_slot.hpp);
+/// total() merges the slots on read. Drivers with an obs::Telemetry
+/// attached republish the merged total through the metrics registry
+/// ("solver.flops").
 class FlopCounter {
  public:
-  void add(std::uint64_t flops) { total_ += flops; }
-  void reset() { total_ = 0; }
-  std::uint64_t total() const { return total_; }
+  void add(std::uint64_t flops) {
+    slots_[static_cast<std::size_t>(this_thread_slot())].v.fetch_add(
+        flops, std::memory_order_relaxed);
+  }
+  void reset() {
+    for (Slot& s : slots_) s.v.store(0, std::memory_order_relaxed);
+  }
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (const Slot& s : slots_) t += s.v.load(std::memory_order_relaxed);
+    return t;
+  }
 
  private:
-  std::uint64_t total_ = 0;
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Slot, kMaxThreadSlots> slots_{};
 };
 
 }  // namespace ab

@@ -1,0 +1,236 @@
+// Minimal recursive-descent JSON parser for test assertions.
+//
+// Parses the subset the observability exporters emit (objects, arrays,
+// strings with escapes, numbers, booleans, null) into a tree that
+// preserves object member ORDER — the StepReport schema fixes key order,
+// and tests assert on it. Strict enough to catch malformed output: any
+// trailing garbage, unterminated construct, or bad escape fails the parse.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ab::testjson {
+
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> arr;
+  std::vector<std::pair<std::string, Value>> obj;  // order-preserving
+
+  bool is_object() const { return kind == Kind::Object; }
+  bool is_array() const { return kind == Kind::Array; }
+  bool is_number() const { return kind == Kind::Number; }
+  bool is_string() const { return kind == Kind::String; }
+
+  /// First member named `key`, or nullptr.
+  const Value* find(const std::string& key) const {
+    if (kind != Kind::Object) return nullptr;
+    for (const auto& [k, v] : obj)
+      if (k == key) return &v;
+    return nullptr;
+  }
+  /// Member keys in document order.
+  std::vector<std::string> keys() const {
+    std::vector<std::string> out;
+    out.reserve(obj.size());
+    for (const auto& [k, v] : obj) out.push_back(k);
+    return out;
+  }
+};
+
+namespace detail {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  bool parse(Value& out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    return pos_ == s_.size();  // no trailing garbage
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+  bool literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool parse_value(Value& out) {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case 'n':
+        out.kind = Value::Kind::Null;
+        return literal("null");
+      case 't':
+        out.kind = Value::Kind::Bool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = Value::Kind::Bool;
+        out.boolean = false;
+        return literal("false");
+      case '"':
+        out.kind = Value::Kind::String;
+        return parse_string(out.str);
+      case '[':
+        return parse_array(out);
+      case '{':
+        return parse_object(out);
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (s_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_];
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        switch (s_[pos_]) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 >= s_.size()) return false;
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char h = s_[pos_ + static_cast<std::size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                return false;
+            }
+            pos_ += 4;
+            // Exporters only emit \u for control characters; decoding the
+            // ASCII range is all the tests need.
+            out.push_back(code < 0x80 ? static_cast<char>(code) : '?');
+            break;
+          }
+          default:
+            return false;
+        }
+        ++pos_;
+      } else {
+        out.push_back(c);
+        ++pos_;
+      }
+    }
+    if (pos_ >= s_.size()) return false;  // unterminated
+    ++pos_;                               // closing quote
+    return true;
+  }
+
+  bool parse_number(Value& out) {
+    const char* start = s_.c_str() + pos_;
+    char* end = nullptr;
+    out.number = std::strtod(start, &end);
+    if (end == start) return false;
+    out.kind = Value::Kind::Number;
+    pos_ += static_cast<std::size_t>(end - start);
+    return true;
+  }
+
+  bool parse_array(Value& out) {
+    out.kind = Value::Kind::Array;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      Value v;
+      skip_ws();
+      if (!parse_value(v)) return false;
+      out.arr.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_object(Value& out) {
+    out.kind = Value::Kind::Object;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= s_.size() || s_[pos_] != '"' || !parse_string(key))
+        return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      skip_ws();
+      Value v;
+      if (!parse_value(v)) return false;
+      out.obj.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+/// Parse `text` into `out`; false on any syntax error or trailing bytes.
+inline bool parse(const std::string& text, Value& out) {
+  return detail::Parser(text).parse(out);
+}
+
+}  // namespace ab::testjson

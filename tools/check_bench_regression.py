@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Compare kernel microbenchmark results against the committed seed baseline.
+
+Two modes:
+
+  # Run the benchmarks fresh (the CTest `bench` configuration does this):
+  tools/check_bench_regression.py --bench-binary build/bench/bench_kernels
+
+  # Compare an existing google-benchmark JSON (raw, or the BENCH_*.json
+  # wrapper run_benchmarks.sh writes):
+  tools/check_bench_regression.py --current BENCH_kernels.json
+
+Exit status is 1 when any benchmark present in both files is slower than
+seed by more than --threshold (a ratio: 1.5 means "fails below 1/1.5 of the
+seed items/second"). Benchmarks missing on either side are reported but do
+not fail the check, and the seed context's compiler/flags are echoed so
+cross-configuration comparisons are visible for what they are.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def representative(benchmarks):
+    """name -> items_per_second, preferring the median aggregate when the
+    run used repetitions (same logic as bench/run_benchmarks.sh)."""
+    rep = {}
+    for b in benchmarks:
+        if not b.get("items_per_second"):
+            continue
+        name = b["name"]
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") != "median":
+                continue
+            rep[b["run_name"]] = b["items_per_second"]
+        else:
+            rep.setdefault(name, b["items_per_second"])
+    return rep
+
+
+def load_benchmarks(path):
+    """Accept raw google-benchmark JSON or the BENCH_*.json wrapper."""
+    with open(path) as f:
+        doc = json.load(f)
+    benches = doc.get("benchmarks", doc.get("after", []))
+    context = doc.get("context", doc.get("seed_context", {}))
+    return benches, context
+
+
+def run_benchmarks(binary, bench_filter, repetitions):
+    cmd = [binary, "--benchmark_format=json"]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    if repetitions > 1:
+        cmd.append(f"--benchmark_repetitions={repetitions}")
+        cmd.append("--benchmark_report_aggregates_only=true")
+    with tempfile.NamedTemporaryFile(mode="w+", suffix=".json") as tmp:
+        subprocess.run(cmd, check=True, stdout=tmp)
+        tmp.seek(0)
+        doc = json.load(tmp)
+    return doc.get("benchmarks", []), doc.get("context", {})
+
+
+def main():
+    p = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    src = p.add_mutually_exclusive_group(required=True)
+    src.add_argument("--bench-binary", help="bench_kernels binary to run")
+    src.add_argument("--current", help="existing benchmark JSON to compare")
+    p.add_argument(
+        "--seed",
+        default=os.path.join(REPO_ROOT, "bench", "BENCH_kernels_seed.json"),
+        help="baseline JSON (default: bench/BENCH_kernels_seed.json)",
+    )
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=1.5,
+        help="max allowed slowdown ratio vs seed (default 1.5)",
+    )
+    p.add_argument(
+        "--filter",
+        default="",
+        help="regex passed to --benchmark_filter (with --bench-binary)",
+    )
+    p.add_argument(
+        "--repetitions",
+        type=int,
+        default=3,
+        help="benchmark repetitions, medians compared (with --bench-binary)",
+    )
+    args = p.parse_args()
+    if args.threshold <= 1.0:
+        p.error("--threshold must be > 1.0")
+
+    seed_benches, seed_ctx = load_benchmarks(args.seed)
+    if args.bench_binary:
+        cur_benches, cur_ctx = run_benchmarks(
+            args.bench_binary, args.filter, args.repetitions
+        )
+    else:
+        cur_benches, cur_ctx = load_benchmarks(args.current)
+
+    seed_rep = representative(seed_benches)
+    cur_rep = representative(cur_benches)
+    if not cur_rep:
+        print("error: no comparable benchmarks in the current run", file=sys.stderr)
+        return 2
+
+    for label, ctx in (("seed", seed_ctx), ("current", cur_ctx)):
+        if ctx:
+            print(
+                f"{label:8s} host: {ctx.get('host_name', '?')}  "
+                f"cpus: {ctx.get('num_cpus', '?')}  "
+                f"build: {ctx.get('library_build_type', ctx.get('build_type', '?'))}"
+            )
+
+    failures = []
+    common = sorted(set(seed_rep) & set(cur_rep))
+    print(f"\n{'benchmark':40s} {'seed it/s':>12s} {'now it/s':>12s} {'ratio':>7s}")
+    for name in common:
+        ratio = cur_rep[name] / seed_rep[name]
+        flag = ""
+        if ratio < 1.0 / args.threshold:
+            flag = "  REGRESSION"
+            failures.append((name, ratio))
+        print(f"{name:40s} {seed_rep[name]:12.3e} {cur_rep[name]:12.3e} "
+              f"{ratio:6.2f}x{flag}")
+    for name in sorted(set(seed_rep) - set(cur_rep)):
+        print(f"{name:40s} (missing from current run)")
+    for name in sorted(set(cur_rep) - set(seed_rep)):
+        print(f"{name:40s} (no seed baseline)")
+
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} benchmark(s) slower than seed by more "
+            f"than {args.threshold:.2f}x:"
+        )
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x of seed throughput")
+        return 1
+    print(f"\nOK: {len(common)} benchmark(s) within {args.threshold:.2f}x of seed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Summarize observability output: Chrome trace JSON and/or StepReport JSONL.
+
+  tools/trace_summary.py trace.json steps.jsonl ...
+
+File type is detected from content, not extension: a JSON array of
+trace_event objects is treated as a trace; a file of one JSON object per
+line is treated as a step report.
+
+For a trace, spans aggregate by (category, name): count, total time, mean,
+max, and the share of the traced wall interval. For a step report, the
+summary shows run totals (steps, cells updated, regrid events, ghost ops),
+aggregate phase times with their share of summed step wall time, final
+gauge values, and — for rank-parallel runs — per-rank traffic totals.
+"""
+
+import json
+import sys
+
+
+def load_events(path):
+    """Return trace events if `path` is a Chrome trace, else None."""
+    with open(path) as f:
+        text = f.read().strip()
+    if not text.startswith("["):
+        return None
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        return None
+    if isinstance(doc, dict):
+        doc = doc.get("traceEvents", [])
+    if not isinstance(doc, list):
+        return None
+    return [e for e in doc if isinstance(e, dict) and e.get("ph") == "X"]
+
+
+def load_records(path):
+    """Return step records if `path` is JSONL (one object per line)."""
+    records = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                return None
+            if not isinstance(obj, dict):
+                return None
+            records.append(obj)
+    return records or None
+
+
+def summarize_trace(path, events):
+    print(f"== {path}: Chrome trace, {len(events)} spans ==")
+    if not events:
+        return
+    t0 = min(e["ts"] for e in events)
+    t1 = max(e["ts"] + e.get("dur", 0.0) for e in events)
+    wall_us = max(t1 - t0, 1e-9)
+    tids = sorted({e.get("tid", 0) for e in events})
+    print(f"traced interval: {wall_us / 1e6:.3f} s across {len(tids)} thread slot(s)")
+    agg = {}
+    for e in events:
+        key = (e.get("cat", ""), e.get("name", "?"))
+        ent = agg.setdefault(key, [0, 0.0, 0.0])  # count, total, max
+        ent[0] += 1
+        ent[1] += e.get("dur", 0.0)
+        ent[2] = max(ent[2], e.get("dur", 0.0))
+    print(f"{'cat':10s} {'name':24s} {'count':>8s} {'total ms':>10s} "
+          f"{'mean us':>10s} {'max us':>10s} {'% wall':>7s}")
+    for (cat, name), (count, total, mx) in sorted(
+        agg.items(), key=lambda kv: -kv[1][1]
+    ):
+        print(f"{cat:10s} {name:24s} {count:8d} {total / 1e3:10.2f} "
+              f"{total / count:10.1f} {mx:10.1f} {100.0 * total / wall_us:6.1f}%")
+
+
+def summarize_report(path, records):
+    print(f"== {path}: step report, {len(records)} records ==")
+    wall = sum(r.get("wall_s", 0.0) for r in records)
+    cells = sum(r.get("cells_updated", 0) for r in records)
+    refined = sum(r.get("refined", 0) for r in records)
+    coarsened = sum(r.get("coarsened", 0) for r in records)
+    last = records[-1]
+    print(f"steps: {len(records)}  sim time: {last.get('t', 0.0):.6g}  "
+          f"final blocks: {last.get('blocks', 0)}")
+    print(f"step wall total: {wall:.4f} s  cells updated: {cells}  "
+          f"refine/coarsen events: {refined}/{coarsened}")
+    ghost = last.get("ghost_ops", {})
+    if any(ghost.values()):
+        g_copy = sum(r.get("ghost_ops", {}).get("copy", 0) for r in records)
+        g_res = sum(r.get("ghost_ops", {}).get("restrict", 0) for r in records)
+        g_pro = sum(r.get("ghost_ops", {}).get("prolong", 0) for r in records)
+        print(f"ghost ops: copy={g_copy} restrict={g_res} prolong={g_pro}")
+
+    phase_totals = {}
+    for r in records:
+        for name, s in r.get("phases", {}).items():
+            phase_totals[name] = phase_totals.get(name, 0.0) + s
+    if phase_totals:
+        print(f"{'phase':20s} {'total s':>10s} {'% step wall':>12s}")
+        for name, s in sorted(phase_totals.items(), key=lambda kv: -kv[1]):
+            share = 100.0 * s / wall if wall > 0 else 0.0
+            print(f"{name:20s} {s:10.4f} {share:11.1f}%")
+
+    gauges = last.get("gauges", {})
+    if gauges:
+        print("final gauges: "
+              + "  ".join(f"{k}={v:.6g}" for k, v in sorted(gauges.items())))
+
+    per_rank = {}
+    for r in records:
+        for t in r.get("per_rank", []):
+            ent = per_rank.setdefault(t["rank"], [0, 0, 0, 0])
+            ent[0] += t.get("sent_messages", 0)
+            ent[1] += t.get("recv_messages", 0)
+            ent[2] += t.get("sent_bytes", 0)
+            ent[3] += t.get("recv_bytes", 0)
+    if per_rank:
+        print(f"{'rank':>4s} {'sent msgs':>10s} {'recv msgs':>10s} "
+              f"{'sent bytes':>12s} {'recv bytes':>12s}")
+        for rank in sorted(per_rank):
+            sm, rm, sb, rb = per_rank[rank]
+            print(f"{rank:4d} {sm:10d} {rm:10d} {sb:12d} {rb:12d}")
+        sent = [v[2] for v in per_rank.values()]
+        mean = sum(sent) / len(sent)
+        if mean > 0:
+            print(f"send imbalance (max/mean bytes): {max(sent) / mean:.2f}")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    status = 0
+    for path in sys.argv[1:]:
+        events = load_events(path)
+        if events is not None:
+            summarize_trace(path, events)
+            print()
+            continue
+        records = load_records(path)
+        if records is not None:
+            summarize_report(path, records)
+            print()
+            continue
+        print(f"error: {path} is neither a Chrome trace nor a JSONL report",
+              file=sys.stderr)
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
