@@ -419,9 +419,22 @@ class AmrSolver {
     return flux_register_.num_corrections();
   }
 
-  /// Write a restart file (topology + solution + time).
-  void save(const std::string& path) const {
-    save_checkpoint<D>(path, forest_, store_, time_);
+  /// Write a restart file (topology + solution + time). V2 (default) is
+  /// checksummed and written atomically; the write is accounted to the
+  /// ckpt.* metrics when telemetry is attached. Returns bytes written.
+  std::uint64_t save(const std::string& path,
+                     CheckpointFormat format = CheckpointFormat::V2) const {
+    obs::Telemetry* const tel = cfg_.telemetry;
+    const std::int64_t t0 = tel != nullptr ? tel->trace.now_ns() : 0;
+    const std::uint64_t bytes =
+        save_checkpoint<D>(path, forest_, store_, time_, format);
+    if (tel != nullptr) {
+      tel->metrics.counter("ckpt.saves")->add(1);
+      tel->metrics.counter("ckpt.bytes")->add(bytes);
+      tel->metrics.gauge("ckpt.last_save_s")
+          ->set(static_cast<double>(tel->trace.now_ns() - t0) * 1e-9);
+    }
+    return bytes;
   }
 
   /// Restore a restart file. Only valid on a freshly constructed solver

@@ -2,6 +2,7 @@
 #include "obs/report.hpp"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 
@@ -10,8 +11,15 @@ namespace ab::obs {
 namespace {
 
 /// Shortest decimal form that parses back to the same double: try %.15g,
-/// fall back to %.17g. Deterministic for identical inputs.
+/// fall back to %.17g. Deterministic for identical inputs. JSON has no
+/// representation for non-finite numbers ("%g" would print nan/inf and
+/// invalidate the whole line), so those emit null per the spec — gauges
+/// fed from conservation drift can legitimately go non-finite on blow-up.
 void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
   char buf[40];
   std::snprintf(buf, sizeof buf, "%.15g", v);
   if (std::strtod(buf, nullptr) != v)

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/ghost.hpp"
+#include "parsim/fault.hpp"
 #include "parsim/rank_accounting.hpp"
 #include "util/error.hpp"
 
@@ -47,11 +48,20 @@ class MessageBoard {
  public:
   void clear() { channels_.clear(); }
 
+  /// Route every subsequent send through `plan`'s lossy wire (nullptr
+  /// restores the perfect wire). Faults are injected and recovered at
+  /// send time — what lands in the channel is always the clean payload.
+  void set_fault_plan(FaultPlan* plan) { faults_ = plan; }
+
   /// Append `n` doubles to the (src, dst) channel.
   void send(int src, int dst, const double* data, std::int64_t n) {
     AB_REQUIRE(src != dst, "MessageBoard: no self-messages");
     Channel& ch = channels_[{src, dst}];
+    const std::size_t at = ch.data.size();
     ch.data.insert(ch.data.end(), data, data + n);
+    if (faults_ != nullptr)
+      faults_->transmit(src, dst, ch.data.data() + at,
+                        static_cast<std::size_t>(n));
   }
 
   /// Sequential read of `n` doubles from the (src, dst) channel; reads must
@@ -105,6 +115,7 @@ class MessageBoard {
     std::size_t read = 0;
   };
   std::map<std::pair<int, int>, Channel> channels_;
+  FaultPlan* faults_ = nullptr;
 };
 
 template <int D>
@@ -126,6 +137,10 @@ class BufferedExchange {
     npes_ = npes;
     rebuild();
   }
+
+  /// Route every cross-PE fill payload through `plan`'s lossy wire
+  /// (nullptr restores the perfect wire).
+  void set_fault_plan(FaultPlan* plan) { faults_ = plan; }
 
   /// Recompute message layouts after the exchanger was rebuilt or the
   /// partition changed.
@@ -191,6 +206,13 @@ class BufferedExchange {
           exchanger_->pack_op(src_store, op, cursor);
           cursor += exchanger_->op_payload_doubles(op);
         }
+        // ...push each packed buffer through the (possibly lossy) wire.
+        // Faults are injected, detected, and retransmitted here, so the
+        // buffer a receiver unpacks is always the clean payload.
+        if (faults_ != nullptr && cursor != msg.buffer.data())
+          faults_->transmit(
+              msg.src_pe, msg.dst_pe, msg.buffer.data(),
+              static_cast<std::size_t>(cursor - msg.buffer.data()));
       }
       // ...then deliver (unpack). The strict pack-all/unpack-all order is
       // what a bulk-synchronous exchange round does.
@@ -253,6 +275,7 @@ class BufferedExchange {
   int npes_;
   std::vector<int> local_phase_[2];
   std::vector<Message> messages_;
+  FaultPlan* faults_ = nullptr;
 };
 
 }  // namespace ab

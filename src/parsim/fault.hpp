@@ -1,0 +1,205 @@
+// Deterministic message-fault injection for the simulated parallel layer.
+//
+// The paper's production target (hours of Cray T3D time) makes tolerance
+// of per-PE failure a first-class concern: a dropped or corrupted message
+// must be detected and recovered from, never silently consumed. FaultPlan
+// models the lossy wire between simulated ranks. Every payload handed to
+// transmit() passes through a seeded fault stream that can
+//
+//   drop       the message (receiver times out, sender retransmits),
+//   corrupt    it (one bit flipped in flight; the receiver's CRC-32 check
+//              rejects it and the sender retransmits from its retained
+//              copy — the ack/retain protocol every reliable transport
+//              implements),
+//   duplicate  it (the receiver's sequence numbering discards the copy),
+//   reorder    it (reassembled in sequence order on arrival).
+//
+// Drops and corruptions cost retransmissions; duplicates and reorders are
+// absorbed by the receive protocol. In every case exactly one clean copy
+// is delivered, so a faulty run remains BITWISE identical to a clean one
+// — the property tests/parsim/fault_test.cpp asserts. All randomness comes
+// from one splitmix64 stream seeded in the config: the same seed replays
+// the same fault schedule.
+//
+// The plan can also kill a simulated rank outright (kill_rank at
+// kill_at_step); RankSolver turns that into a RankFailure and recovers
+// from its last checkpoint.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+
+namespace ab {
+
+/// Thrown when a simulated rank dies mid-step. Carries the dead rank so
+/// the recovery path knows whose blocks to re-home.
+class RankFailure : public Error {
+ public:
+  RankFailure(int rank, const std::string& what) : Error(what), rank_(rank) {}
+  int rank() const { return rank_; }
+
+ private:
+  int rank_;
+};
+
+/// Cumulative accounting of what the wire did.
+struct FaultStats {
+  std::int64_t transmissions = 0;  ///< payloads offered to the wire
+  std::int64_t delivered = 0;      ///< clean copies accepted by receivers
+  std::int64_t dropped = 0;        ///< payloads lost in flight
+  std::int64_t corrupted = 0;      ///< payloads rejected by the CRC check
+  std::int64_t duplicated = 0;     ///< duplicate copies discarded by seq
+  std::int64_t reordered = 0;      ///< out-of-order arrivals reassembled
+  std::int64_t retries = 0;        ///< retransmissions (drops + corruptions)
+  std::int64_t injected() const {
+    return dropped + corrupted + duplicated + reordered;
+  }
+};
+
+class FaultPlan {
+ public:
+  struct Config {
+    std::uint64_t seed = 0x5eedfa17ull;
+    double drop_rate = 0.0;       ///< P(payload lost in flight)
+    double corrupt_rate = 0.0;    ///< P(one bit flipped in flight)
+    double duplicate_rate = 0.0;  ///< P(payload delivered twice)
+    double reorder_rate = 0.0;    ///< P(payload arrives out of order)
+    /// Total faults the plan may inject (-1 = unlimited). A finite budget
+    /// guarantees termination even at rate 1.0.
+    std::int64_t max_faults = -1;
+    /// Retransmissions allowed per payload before the wire is declared
+    /// unusable (models a link-dead threshold).
+    int max_retries = 64;
+    /// Simulated rank to kill (-1 = none) once step `kill_at_step` is
+    /// reached. Consumed by RankSolver, not by transmit().
+    int kill_rank = -1;
+    std::int64_t kill_at_step = -1;
+  };
+
+  explicit FaultPlan(Config cfg) : cfg_(cfg), state_(cfg.seed) {
+    AB_REQUIRE(cfg_.drop_rate >= 0.0 && cfg_.corrupt_rate >= 0.0 &&
+                   cfg_.duplicate_rate >= 0.0 && cfg_.reorder_rate >= 0.0,
+               "FaultPlan: rates must be non-negative");
+    AB_REQUIRE(cfg_.drop_rate + cfg_.corrupt_rate + cfg_.duplicate_rate +
+                       cfg_.reorder_rate <=
+                   1.0,
+               "FaultPlan: rates must sum to <= 1");
+    AB_REQUIRE(cfg_.max_retries >= 1, "FaultPlan: max_retries must be >= 1");
+  }
+
+  const Config& config() const { return cfg_; }
+  const FaultStats& stats() const { return stats_; }
+
+  /// True once the kill trigger for `step` has fired. One-shot: the rank
+  /// dies once; after consume_kill() the plan never kills again.
+  bool kill_due(std::int64_t step) const {
+    return !kill_consumed_ && cfg_.kill_rank >= 0 &&
+           cfg_.kill_at_step >= 0 && step >= cfg_.kill_at_step;
+  }
+  int kill_rank() const { return cfg_.kill_rank; }
+  void consume_kill() { kill_consumed_ = true; }
+
+  /// Push `n` doubles at `data` through the lossy wire from `src` to
+  /// `dst`. On return the buffer holds exactly the bytes the sender
+  /// packed (one clean, CRC-verified copy was delivered); the stats
+  /// record every fault injected and retransmission performed along the
+  /// way. Throws if a payload exhausts max_retries.
+  void transmit(int src, int dst, double* data, std::size_t n) {
+    ++stats_.transmissions;
+    if (n == 0 || !faults_possible()) {
+      ++stats_.delivered;
+      return;
+    }
+    const std::size_t bytes = n * sizeof(double);
+    const std::uint32_t want = crc32(data, bytes);
+    std::vector<double> retained;  // sender keeps the payload until acked
+    int attempts = 0;
+    for (;;) {
+      AB_REQUIRE(attempts <= cfg_.max_retries,
+                 "FaultPlan: payload " + std::to_string(src) + "->" +
+                     std::to_string(dst) + " exceeded " +
+                     std::to_string(cfg_.max_retries) + " retransmissions");
+      const Action a = draw_action();
+      if (a == Action::Drop) {
+        ++stats_.dropped;
+        ++stats_.retries;
+        ++attempts;
+        continue;  // receiver never saw it; sender times out and resends
+      }
+      if (a == Action::Corrupt) {
+        if (retained.empty()) retained.assign(data, data + n);
+        flip_random_bit(data, bytes);
+        // The receiver checks the frame CRC before accepting.
+        AB_REQUIRE(crc32(data, bytes) != want,
+                   "FaultPlan: bit flip escaped the CRC");  // cannot happen
+        ++stats_.corrupted;
+        ++stats_.retries;
+        ++attempts;
+        std::memcpy(data, retained.data(), bytes);  // retransmit clean copy
+        continue;
+      }
+      if (a == Action::Duplicate) {
+        // Both copies arrive; sequence numbering discards the second.
+        ++stats_.duplicated;
+      } else if (a == Action::Reorder) {
+        // Arrives out of order; the receive window reassembles by seq.
+        ++stats_.reordered;
+      }
+      ++stats_.delivered;
+      return;
+    }
+  }
+
+ private:
+  enum class Action { Deliver, Drop, Corrupt, Duplicate, Reorder };
+
+  bool faults_possible() const {
+    if (cfg_.max_faults >= 0 && stats_.injected() >= cfg_.max_faults)
+      return false;
+    return cfg_.drop_rate > 0.0 || cfg_.corrupt_rate > 0.0 ||
+           cfg_.duplicate_rate > 0.0 || cfg_.reorder_rate > 0.0;
+  }
+
+  std::uint64_t next_u64() {
+    // splitmix64: tiny, deterministic, well-distributed.
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  double next_unit() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  Action draw_action() {
+    if (!faults_possible()) return Action::Deliver;
+    const double u = next_unit();
+    double t = cfg_.drop_rate;
+    if (u < t) return Action::Drop;
+    t += cfg_.corrupt_rate;
+    if (u < t) return Action::Corrupt;
+    t += cfg_.duplicate_rate;
+    if (u < t) return Action::Duplicate;
+    t += cfg_.reorder_rate;
+    if (u < t) return Action::Reorder;
+    return Action::Deliver;
+  }
+
+  void flip_random_bit(double* data, std::size_t bytes) {
+    const std::uint64_t bit = next_u64() % (bytes * 8);
+    auto* raw = reinterpret_cast<unsigned char*>(data);
+    raw[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+  }
+
+  Config cfg_;
+  std::uint64_t state_;
+  FaultStats stats_;
+  bool kill_consumed_ = false;
+};
+
+}  // namespace ab

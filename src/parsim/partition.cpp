@@ -132,6 +132,8 @@ double load_imbalance(const std::vector<int>& owner, int npes,
     load[static_cast<std::size_t>(owner[id])] += w;
     total += w;
   }
+  // Zero total (no owned blocks, or all-zero weights) would be 0/0 below;
+  // an empty partition is perfectly balanced by convention (see header).
   if (total == 0.0) return 1.0;
   const double mean = total / npes;
   double mx = 0.0;

@@ -33,6 +33,15 @@ std::vector<int> partition_blocks(const Forest<D>& forest, int npes,
 
 /// Load-imbalance ratio: (max PE load) / (mean PE load); 1.0 is perfect.
 /// `weights`, if given, must be indexed by node id (same as `owner`).
+///
+/// Pinned edge behavior (always finite, never 0/0):
+///   - Total weight of zero — no owned blocks at all, or every weight
+///     0.0 — returns exactly 1.0: an empty partition is balanced by
+///     convention, not a division by the zero mean.
+///   - npes > owned-block count (some PEs necessarily empty): the mean
+///     still divides by all `npes`, so the result is
+///     max_load * npes / total — e.g. 4 unit blocks on 8 PEs gives 2.0.
+///     Empty PEs are real imbalance: the machine is half idle.
 double load_imbalance(const std::vector<int>& owner, int npes,
                       const std::vector<double>& weights = {});
 

@@ -41,8 +41,10 @@
 #include "core/forest.hpp"
 #include "core/ghost.hpp"
 #include "core/regrid_data.hpp"
+#include "io/checkpoint.hpp"
 #include "parsim/block_migration.hpp"
 #include "parsim/buffered_exchange.hpp"
+#include "parsim/fault.hpp"
 #include "parsim/machine.hpp"
 #include "parsim/partition.hpp"
 #include "parsim/rank_accounting.hpp"
@@ -63,6 +65,15 @@ class RankSolver {
     int npes = 1;
     PartitionPolicy policy = PartitionPolicy::Morton;
     MachineModel machine = MachineModel::cray_t3d();
+    /// Lossy-wire / rank-death fault injection (nullptr = perfect
+    /// hardware). See src/parsim/fault.hpp and docs/ROBUSTNESS.md.
+    FaultPlan* faults = nullptr;
+    /// Auto-checkpoint cadence in steps (0 = off). When positive, step()
+    /// writes a v2 checkpoint to `checkpoint_path` at the top of every
+    /// step whose index is a multiple of the cadence — including step 0,
+    /// so a recovery point always exists before the first possible death.
+    int checkpoint_every = 0;
+    std::string checkpoint_path;
   };
 
   RankSolver(Config cfg, Phys phys)
@@ -101,6 +112,12 @@ class RankSolver {
       scratch_[static_cast<std::size_t>(owner_at(id))].ensure(id);
     }
     rank_flops_.assign(static_cast<std::size_t>(cfg_.npes), 0);
+    alive_.assign(static_cast<std::size_t>(cfg_.npes), true);
+    num_alive_ = cfg_.npes;
+    AB_REQUIRE(cfg_.checkpoint_every <= 0 || !cfg_.checkpoint_path.empty(),
+               "RankSolver: checkpoint_every needs a checkpoint_path");
+    buffered_.set_fault_plan(cfg_.faults);
+    board_.set_fault_plan(cfg_.faults);
     rebuild_rank_structures();
   }
 
@@ -175,7 +192,10 @@ class RankSolver {
   }
 
   /// Advance one step of size `dt` (mirrors AmrSolver::step, serial path).
+  /// Throws RankFailure if the fault plan kills a rank mid-step; the
+  /// caller recovers with recover() (advance_to does both).
   void step(double dt) {
+    maybe_auto_checkpoint();
     obs::Telemetry* const tel = cfg_.solver.telemetry;
     const std::int64_t t0 = tel != nullptr ? tel->trace.now_ns() : 0;
     const std::uint64_t updates0 = block_updates_;
@@ -185,6 +205,10 @@ class RankSolver {
     rank_flops_.assign(static_cast<std::size_t>(cfg_.npes), 0);
     // Stage 1: scratch = u + dt L(u).
     fill_ghosts(stores_, time_, sc);
+    // The kill point sits after the first exchange: the step is genuinely
+    // in flight (ghosts delivered, stage results pending) when the rank
+    // dies, and nothing it half-did survives recovery.
+    maybe_kill();
     run_stage(stores_, scratch_, dt, sc);
     if (cfg_.solver.rk_stages == 1) {
       {
@@ -242,16 +266,106 @@ class RankSolver {
     finish_step(sc, dt, t0, updates0);
   }
 
-  /// Advance with CFL-limited steps until `t_end` (or `max_steps`).
+  /// Advance with CFL-limited steps until `t_end` (or `max_steps`). A
+  /// simulated rank death is recovered in place: the dead rank is retired,
+  /// the last auto-checkpoint reloaded, its blocks re-partitioned across
+  /// the survivors, and stepping resumes from the checkpointed time.
   int advance_to(double t_end, int max_steps = 1000000) {
     int steps = 0;
     while (time_ < t_end && steps < max_steps) {
       double dt = compute_dt();
       if (time_ + dt > t_end) dt = t_end - time_;
-      step(dt);
+      try {
+        step(dt);
+      } catch (const RankFailure& f) {
+        recover(f.rank());
+        continue;  // dt must be recomputed from the restored state
+      }
       ++steps;
     }
     return steps;
+  }
+
+  // --- Checkpointing and fault recovery --------------------------------
+
+  /// Write a v2 checkpoint (atomic, checksummed) of the global state
+  /// assembled from the per-rank stores. Returns bytes written.
+  std::uint64_t save(const std::string& path) {
+    obs::Telemetry* const tel = cfg_.solver.telemetry;
+    const std::int64_t t0 = tel != nullptr ? tel->trace.now_ns() : 0;
+    const std::uint64_t bytes = save_checkpoint_view<D>(
+        path, forest_, layout_,
+        [this](int id) { return block_view(id); }, time_);
+    last_checkpoint_path_ = path;
+    if (tel != nullptr) {
+      tel->metrics.counter("ckpt.saves")->add(1);
+      tel->metrics.counter("ckpt.bytes")->add(bytes);
+      tel->metrics.gauge("ckpt.last_save_s")
+          ->set(static_cast<double>(tel->trace.now_ns() - t0) * 1e-9);
+    }
+    return bytes;
+  }
+
+  /// Discard all in-memory state and reload from `path`, partitioning the
+  /// restored blocks across the currently-alive ranks. Ghosts are refilled
+  /// by the next step's exchange.
+  void restore(const std::string& path) {
+    forest_ = Forest<D>(cfg_.solver.forest);
+    BlockStore<D> global(layout_);
+    time_ = load_checkpoint<D>(path, forest_, global);
+    forest_.rebuild_neighbor_table();
+    exchanger_.rebuild();
+    for (int p = 0; p < cfg_.npes; ++p) {
+      stores_[static_cast<std::size_t>(p)] = BlockStore<D>(layout_);
+      scratch_[static_cast<std::size_t>(p)] = BlockStore<D>(layout_);
+      if (use_stage2())
+        stage2_[static_cast<std::size_t>(p)] = BlockStore<D>(layout_);
+    }
+    owner_ = partition_alive();
+    const std::int64_t payload = block_payload_doubles<D>(layout_);
+    std::vector<double> buf(static_cast<std::size_t>(payload));
+    for (int id : forest_.leaves()) {
+      const int pe = owner_at(id);
+      scratch_[static_cast<std::size_t>(pe)].ensure(id);
+      pack_block_payload<D>(global, id, buf.data());
+      unpack_block_payload<D>(stores_[static_cast<std::size_t>(pe)], id,
+                              buf.data());
+    }
+    buffered_.set_owner(owner_, cfg_.npes);
+    rebuild_rank_structures();
+    last_checkpoint_path_ = path;
+  }
+
+  /// Handle the death of `dead_rank`: retire it, reload the last
+  /// checkpoint, re-partition its blocks across the survivors (existing
+  /// PartitionPolicy/migration machinery), and leave the solver ready to
+  /// resume from the checkpointed time.
+  void recover(int dead_rank) {
+    AB_REQUIRE(dead_rank >= 0 && dead_rank < cfg_.npes &&
+                   alive_[static_cast<std::size_t>(dead_rank)],
+               "RankSolver: recover() needs a live rank id");
+    AB_REQUIRE(!last_checkpoint_path_.empty(),
+               "RankSolver: rank " + std::to_string(dead_rank) +
+                   " died with no checkpoint to recover from (set "
+                   "checkpoint_every/checkpoint_path)");
+    alive_[static_cast<std::size_t>(dead_rank)] = false;
+    --num_alive_;
+    AB_REQUIRE(num_alive_ >= 1, "RankSolver: no surviving ranks");
+    restore(last_checkpoint_path_);
+    obs::Telemetry* const tel = cfg_.solver.telemetry;
+    if (tel != nullptr) {
+      tel->metrics.counter("fault.rank_deaths")->add(1);
+      tel->metrics.counter("fault.recoveries")->add(1);
+    }
+  }
+
+  /// Ranks still alive (npes minus recovered deaths).
+  int num_alive() const { return num_alive_; }
+  bool rank_alive(int pe) const {
+    return pe >= 0 && pe < cfg_.npes && alive_[static_cast<std::size_t>(pe)];
+  }
+  const std::string& last_checkpoint_path() const {
+    return last_checkpoint_path_;
   }
 
   using AdaptResult = typename AmrSolver<D, Phys>::AdaptResult;
@@ -355,8 +469,7 @@ class RankSolver {
       // recompute the partition for the new leaf set and migrate every
       // block whose owner changed.
       rc.imbalance_before = load_imbalance(owner_, cfg_.npes);
-      std::vector<int> fresh =
-          partition_blocks<D>(forest_, cfg_.npes, cfg_.policy);
+      std::vector<int> fresh = partition_alive();
       const MigrationStats ms =
           migrate_blocks<D>(forest_.leaves(), owner_, fresh, stores_, board_);
       for (int id : forest_.leaves()) {
@@ -405,6 +518,42 @@ class RankSolver {
  private:
   bool use_stage2() const {
     return cfg_.solver.rk_stages == 2 && cfg_.solver.flux_correction;
+  }
+
+  void maybe_auto_checkpoint() {
+    if (cfg_.checkpoint_every <= 0) return;
+    if (step_index_ % cfg_.checkpoint_every == 0) save(cfg_.checkpoint_path);
+  }
+
+  /// Fire the fault plan's one-shot kill trigger if this step is due.
+  void maybe_kill() {
+    FaultPlan* const fp = cfg_.faults;
+    if (fp == nullptr || !fp->kill_due(step_index_)) return;
+    const int r = fp->kill_rank();
+    AB_REQUIRE(r >= 0 && r < cfg_.npes,
+               "FaultPlan: kill_rank out of range");
+    fp->consume_kill();
+    if (!alive_[static_cast<std::size_t>(r)]) return;  // already dead
+    throw RankFailure(r, "simulated rank " + std::to_string(r) +
+                             " died during step " +
+                             std::to_string(step_index_));
+  }
+
+  /// Partition the current leaves across the alive ranks only. With no
+  /// deaths this is exactly partition_blocks; after deaths, the policy
+  /// runs over num_alive() slots and the result is mapped back to the
+  /// surviving rank ids, so dead ranks own nothing.
+  std::vector<int> partition_alive() const {
+    std::vector<int> raw =
+        partition_blocks<D>(forest_, num_alive_, cfg_.policy);
+    if (num_alive_ == cfg_.npes) return raw;
+    std::vector<int> alive_ids;
+    alive_ids.reserve(static_cast<std::size_t>(num_alive_));
+    for (int p = 0; p < cfg_.npes; ++p)
+      if (alive_[static_cast<std::size_t>(p)]) alive_ids.push_back(p);
+    for (int& o : raw)
+      if (o >= 0) o = alive_ids[static_cast<std::size_t>(o)];
+    return raw;
   }
 
   int owner_at(int id) const {
@@ -568,6 +717,21 @@ class RankSolver {
     m.gauge("rank.load_imbalance")->set(sc.imbalance);
     m.gauge("rank.t_step_model_s")->set(sc.t_step);
     m.gauge("rank.efficiency")->set(sc.efficiency);
+    if (cfg_.faults != nullptr) {
+      // The plan's stats are run totals; counters take per-step deltas.
+      const FaultStats& fs = cfg_.faults->stats();
+      auto pub = [&m](const char* name, std::int64_t cur,
+                      std::int64_t prev) {
+        if (cur > prev)
+          m.counter(name)->add(static_cast<std::uint64_t>(cur - prev));
+      };
+      pub("fault.dropped", fs.dropped, fault_prev_.dropped);
+      pub("fault.corrupted", fs.corrupted, fault_prev_.corrupted);
+      pub("fault.duplicated", fs.duplicated, fault_prev_.duplicated);
+      pub("fault.reordered", fs.reordered, fault_prev_.reordered);
+      pub("fault.retries", fs.retries, fault_prev_.retries);
+      fault_prev_ = fs;
+    }
     if (tel->report() != nullptr) {
       obs::StepReport r;
       r.step = step_index_;
@@ -616,6 +780,10 @@ class RankSolver {
   std::vector<std::vector<BoundaryFace>> bfaces_by_pe_;
   AlignedScratch kernel_scratch_;
   std::vector<std::uint64_t> rank_flops_;
+  std::vector<bool> alive_;  ///< per-rank liveness (deaths are permanent)
+  int num_alive_ = 0;
+  std::string last_checkpoint_path_;
+  FaultStats fault_prev_;  ///< last stats published to the metrics registry
   double time_ = 0.0;
   std::uint64_t flops_ = 0;
   std::uint64_t block_updates_ = 0;

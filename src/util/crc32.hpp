@@ -1,0 +1,52 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320).
+//
+// Integrity checks for checkpoint sections and simulated message payloads:
+// a single flipped bit anywhere in a payload changes the checksum, so a
+// loader (or a simulated receiver) can reject corruption instead of
+// consuming garbage. This is the same polynomial zlib/PNG/Ethernet use;
+// crc32("123456789") == 0xCBF43926 is the standard check value.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace ab {
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+/// Incrementally extend a CRC-32 over `n` more bytes. Start (and finish)
+/// with `crc = 0`; chaining crc32_update calls over consecutive chunks
+/// yields the same value as one call over the concatenation.
+inline std::uint32_t crc32_update(std::uint32_t crc, const void* data,
+                                  std::size_t n) {
+  const auto& table = detail::crc32_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i)
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+/// CRC-32 of one contiguous buffer.
+inline std::uint32_t crc32(const void* data, std::size_t n) {
+  return crc32_update(0, data, n);
+}
+
+}  // namespace ab

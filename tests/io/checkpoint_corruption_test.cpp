@@ -1,0 +1,293 @@
+// Corruption matrix for the v2 checkpoint format: every damaged file must
+// be rejected with a precise diagnostic, and a rejected load must leave
+// the destination forest/store completely untouched (parse fully, then
+// apply). Also covers the atomic-rename write path and the v1 loader's
+// position-bearing truncation errors.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include "core/block_store.hpp"
+#include "core/forest.hpp"
+#include "io/checkpoint.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+
+namespace ab {
+namespace {
+
+const char* kPath = "/tmp/ab_checkpoint_corruption_test.bin";
+
+Forest<2>::Config forest_cfg() {
+  Forest<2>::Config c;
+  c.root_blocks = {2, 2};
+  c.max_level = 3;
+  c.periodic = {true, false};
+  return c;
+}
+
+BlockLayout<2> layout() { return BlockLayout<2>({4, 4}, 2, 3); }
+
+/// Save a non-trivial v2 checkpoint and return its byte image.
+std::vector<char> saved_image() {
+  Forest<2> f(forest_cfg());
+  BlockLayout<2> lay = layout();
+  BlockStore<2> store(lay);
+  f.refine(f.find(0, {0, 0}));
+  f.refine(f.find(1, {1, 1}));
+  for (int id : f.leaves()) {
+    store.ensure(id);
+    BlockView<2> v = store.view(id);
+    for_each_cell<2>(lay.interior_box(), [&](IVec<2> p) {
+      for (int var = 0; var < 3; ++var)
+        v.at(var, p) = id * 1000.0 + var * 100.0 + p[0] * 10.0 + p[1];
+    });
+  }
+  save_checkpoint<2>(kPath, f, store, 1.5);
+  std::ifstream is(kPath, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(is)),
+                          std::istreambuf_iterator<char>());
+  std::remove(kPath);
+  return bytes;
+}
+
+void write_bytes(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// v2 file geometry: [magic u64][version u32] then three sections, each
+/// [len u64][payload][crc u32]. Recomputed from the image so the tests
+/// stay honest if the writer changes.
+struct Section {
+  std::size_t len_off, payload_off, payload_len, crc_off;
+};
+
+std::vector<Section> section_layout(const std::vector<char>& bytes) {
+  std::vector<Section> secs;
+  std::size_t pos = 12;
+  for (int s = 0; s < 3; ++s) {
+    Section sec{};
+    sec.len_off = pos;
+    std::uint64_t len = 0;
+    std::memcpy(&len, bytes.data() + pos, sizeof len);
+    sec.payload_off = pos + 8;
+    sec.payload_len = static_cast<std::size_t>(len);
+    sec.crc_off = sec.payload_off + sec.payload_len;
+    pos = sec.crc_off + 4;
+    secs.push_back(sec);
+  }
+  EXPECT_EQ(pos, bytes.size());
+  return secs;
+}
+
+/// Load `bytes` into a fresh forest/store, expect rejection, and verify
+/// the outputs were not touched (forest still pristine, store empty).
+/// Returns the error message for content checks.
+std::string expect_rejected(const std::vector<char>& bytes) {
+  write_bytes(kPath, bytes);
+  Forest<2> g(forest_cfg());
+  BlockStore<2> s(layout());
+  std::string msg;
+  try {
+    load_checkpoint<2>(kPath, g, s);
+    ADD_FAILURE() << "corrupt checkpoint was accepted";
+  } catch (const Error& e) {
+    msg = e.what();
+  }
+  EXPECT_EQ(g.num_leaves(), 4) << "rejected load mutated the forest";
+  EXPECT_EQ(s.num_allocated(), 0) << "rejected load mutated the store";
+  std::remove(kPath);
+  return msg;
+}
+
+TEST(CheckpointCorruption, TruncationAtEveryBoundary) {
+  const std::vector<char> good = saved_image();
+  const auto secs = section_layout(good);
+  std::vector<std::size_t> cuts = {0, 4, 8, 11};  // inside magic/version
+  for (const Section& s : secs) {
+    cuts.push_back(s.len_off);             // before the length field
+    cuts.push_back(s.len_off + 4);         // inside the length field
+    cuts.push_back(s.payload_off);         // length present, payload gone
+    cuts.push_back(s.payload_off + s.payload_len / 2);  // mid-payload
+    cuts.push_back(s.crc_off);             // payload present, CRC gone
+    cuts.push_back(s.crc_off + 2);         // half a CRC
+  }
+  cuts.push_back(good.size() - 1);  // one byte short
+  for (std::size_t cut : cuts) {
+    SCOPED_TRACE(::testing::Message() << "truncated to " << cut << " of "
+                                      << good.size() << " bytes");
+    std::vector<char> bad(good.begin(),
+                          good.begin() + static_cast<std::ptrdiff_t>(cut));
+    const std::string msg = expect_rejected(bad);
+    EXPECT_FALSE(msg.empty());
+  }
+}
+
+TEST(CheckpointCorruption, OneBitFlipInEachSectionIsCaughtByCrc) {
+  const std::vector<char> good = saved_image();
+  const auto secs = section_layout(good);
+  const char* names[3] = {"config", "topology", "data"};
+  for (int s = 0; s < 3; ++s) {
+    for (std::size_t at : {secs[s].payload_off,
+                           secs[s].payload_off + secs[s].payload_len / 2,
+                           secs[s].crc_off - 1}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "section " << names[s] << " flip at byte " << at);
+      std::vector<char> bad = good;
+      bad[at] = static_cast<char>(bad[at] ^ 0x10);
+      const std::string msg = expect_rejected(bad);
+      EXPECT_NE(msg.find("CRC mismatch in section '" + std::string(names[s]) +
+                         "'"),
+                std::string::npos)
+          << msg;
+    }
+  }
+}
+
+TEST(CheckpointCorruption, FlippedStoredCrcIsAMismatch) {
+  const std::vector<char> good = saved_image();
+  const auto secs = section_layout(good);
+  std::vector<char> bad = good;
+  bad[secs[1].crc_off] = static_cast<char>(bad[secs[1].crc_off] ^ 0x01);
+  const std::string msg = expect_rejected(bad);
+  EXPECT_NE(msg.find("CRC mismatch in section 'topology'"),
+            std::string::npos)
+      << msg;
+}
+
+TEST(CheckpointCorruption, CorruptSectionLengthsAreRejected) {
+  const std::vector<char> good = saved_image();
+  const auto secs = section_layout(good);
+  // High bit set: an absurd length must be reported as a truncated
+  // section, not attempted as an allocation.
+  {
+    std::vector<char> bad = good;
+    bad[secs[0].len_off + 7] = static_cast<char>(0x7f);
+    const std::string msg = expect_rejected(bad);
+    EXPECT_NE(msg.find("section 'config' truncated"), std::string::npos)
+        << msg;
+  }
+  // Off-by-one length: everything downstream shifts, so either a CRC or a
+  // framing check must fire.
+  {
+    std::vector<char> bad = good;
+    bad[secs[1].len_off] = static_cast<char>(bad[secs[1].len_off] ^ 0x01);
+    EXPECT_FALSE(expect_rejected(bad).empty());
+  }
+}
+
+TEST(CheckpointCorruption, WrongMagicAndVersionSkew) {
+  const std::vector<char> good = saved_image();
+  // The magic is a little-endian u64, so the file starts with the bytes
+  // of "ABKPT02\0" reversed: offset 7 holds 'A' and offset 1 holds '2'.
+  {
+    std::vector<char> bad = good;
+    bad[7] = 'X';  // break the family tag itself
+    const std::string msg = expect_rejected(bad);
+    EXPECT_NE(msg.find("not a checkpoint file"), std::string::npos) << msg;
+  }
+  {
+    // A future family member ("ABKPT09") is version skew, not garbage.
+    std::vector<char> bad = good;
+    bad[1] = '9';
+    const std::string msg = expect_rejected(bad);
+    EXPECT_NE(msg.find("unsupported checkpoint format revision"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("ABKPT09"), std::string::npos) << msg;
+  }
+  {
+    // Right magic, wrong declared version.
+    std::vector<char> bad = good;
+    bad[8] = 3;
+    const std::string msg = expect_rejected(bad);
+    EXPECT_NE(msg.find("format version skew"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("declares version 3"), std::string::npos) << msg;
+  }
+}
+
+TEST(CheckpointCorruption, SemanticDamageWithValidCrcStillRejectedCleanly) {
+  // Patch a topology leaf level to 99 and FIX the section CRC: the frame
+  // is now self-consistent, so only the semantic validation can catch it —
+  // and it must still leave the outputs untouched (the parse-fully-then-
+  // apply discipline, not the checksum, is what guarantees that).
+  const std::vector<char> good = saved_image();
+  const auto secs = section_layout(good);
+  std::vector<char> bad = good;
+  const std::int32_t bogus = 99;
+  std::memcpy(bad.data() + secs[1].payload_off, &bogus, sizeof bogus);
+  const std::uint32_t crc =
+      crc32(bad.data() + secs[1].payload_off, secs[1].payload_len);
+  std::memcpy(bad.data() + secs[1].crc_off, &crc, sizeof crc);
+  const std::string msg = expect_rejected(bad);
+  EXPECT_NE(msg.find("leaf level 99 out of range"), std::string::npos) << msg;
+}
+
+TEST(CheckpointCorruption, TruncationErrorsCarryByteOffsets) {
+  const std::vector<char> good = saved_image();
+  const auto secs = section_layout(good);
+  std::vector<char> bad(good.begin(),
+                        good.begin() + static_cast<std::ptrdiff_t>(
+                                           secs[2].payload_off +
+                                           secs[2].payload_len / 2));
+  const std::string msg = expect_rejected(bad);
+  EXPECT_NE(msg.find("file offset"), std::string::npos) << msg;
+}
+
+TEST(CheckpointCorruption, V1TruncationErrorsCarryByteOffsets) {
+  Forest<2> f(forest_cfg());
+  BlockStore<2> store(layout());
+  for (int id : f.leaves()) store.ensure(id);
+  save_checkpoint<2>(kPath, f, store, 0.5, CheckpointFormat::V1);
+  std::ifstream is(kPath, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(is)),
+                          std::istreambuf_iterator<char>());
+  is.close();
+  // Cut inside the last block's cell data.
+  std::vector<char> bad(bytes.begin(),
+                        bytes.begin() + static_cast<std::ptrdiff_t>(
+                                            bytes.size() - 13));
+  const std::string msg = expect_rejected(bad);
+  EXPECT_NE(msg.find("truncated"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("file offset"), std::string::npos) << msg;
+}
+
+TEST(CheckpointCorruption, SaveIsAtomicAndLeavesNoTempFile) {
+  Forest<2> f(forest_cfg());
+  BlockStore<2> store(layout());
+  for (int id : f.leaves()) store.ensure(id);
+  save_checkpoint<2>(kPath, f, store, 1.0);
+  // Overwrite in place: the second save must replace the first atomically.
+  save_checkpoint<2>(kPath, f, store, 2.0);
+  struct stat st{};
+  EXPECT_NE(stat(kPath, &st), -1);
+  EXPECT_EQ(stat((std::string(kPath) + ".tmp").c_str(), &st), -1)
+      << "temporary file left behind after save";
+  Forest<2> g(forest_cfg());
+  BlockStore<2> s(layout());
+  EXPECT_DOUBLE_EQ(load_checkpoint<2>(kPath, g, s), 2.0);
+  std::remove(kPath);
+}
+
+TEST(CheckpointCorruption, UnwritableDestinationThrows) {
+  Forest<2> f(forest_cfg());
+  BlockStore<2> store(layout());
+  for (int id : f.leaves()) store.ensure(id);
+  EXPECT_THROW(
+      save_checkpoint<2>("/nonexistent-dir-zz/ckpt.bin", f, store, 0.0),
+      Error);
+}
+
+TEST(CheckpointCorruption, EmptyFileIsRejected) {
+  const std::string msg = expect_rejected({});
+  EXPECT_NE(msg.find("too small"), std::string::npos) << msg;
+}
+
+}  // namespace
+}  // namespace ab

@@ -58,6 +58,41 @@ TEST(Checkpoint, RoundTripTopologyAndData) {
   std::remove(kPath);
 }
 
+TEST(Checkpoint, V1FilesStillLoad) {
+  // Back-compat: files written in the legacy v1 layout (no sections, no
+  // checksums) must keep loading byte-for-byte through the v2 reader.
+  Forest<2> f(forest_cfg());
+  BlockLayout<2> lay({4, 4}, 2, 3);
+  BlockStore<2> store(lay);
+  f.refine(f.find(0, {1, 0}));
+  for (int id : f.leaves()) {
+    store.ensure(id);
+    BlockView<2> v = store.view(id);
+    for_each_cell<2>(lay.interior_box(), [&](IVec<2> p) {
+      for (int var = 0; var < 3; ++var)
+        v.at(var, p) = id + 0.25 * var + 0.5 * p[0] - p[1];
+    });
+  }
+  save_checkpoint<2>(kPath, f, store, 7.5, CheckpointFormat::V1);
+
+  Forest<2> g(forest_cfg());
+  BlockStore<2> store2(lay);
+  const double t = load_checkpoint<2>(kPath, g, store2);
+  EXPECT_DOUBLE_EQ(t, 7.5);
+  ASSERT_EQ(g.num_leaves(), f.num_leaves());
+  for (int id : f.leaves()) {
+    const int gid = g.find(f.level(id), f.coords(id));
+    ASSERT_GE(gid, 0);
+    ConstBlockView<2> a = std::as_const(store).view(id);
+    ConstBlockView<2> b = std::as_const(store2).view(gid);
+    for_each_cell<2>(lay.interior_box(), [&](IVec<2> p) {
+      for (int var = 0; var < 3; ++var)
+        ASSERT_EQ(a.at(var, p), b.at(var, p));
+    });
+  }
+  std::remove(kPath);
+}
+
 TEST(Checkpoint, RejectsMismatchedConfig) {
   Forest<2> f(forest_cfg());
   BlockLayout<2> lay({4, 4}, 2, 3);

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -101,6 +102,30 @@ TEST(JsonLine, DoublesRoundTripExactly) {
   EXPECT_EQ(doc.find("wall_s")->number, r.wall_s);
   EXPECT_EQ(doc.find("gauges")->find("tiny")->number, r.gauges[0].second);
   EXPECT_EQ(doc.find("gauges")->find("neg")->number, r.gauges[1].second);
+}
+
+TEST(JsonLine, NonFiniteDoublesEmitNull) {
+  // JSON has no nan/inf; "%g" would print them bare and invalidate the
+  // whole line for every downstream consumer. They must come out as null.
+  StepReport r = sample_report();
+  r.dt = std::numeric_limits<double>::quiet_NaN();
+  r.gauges = {{"drift", std::numeric_limits<double>::infinity()},
+              {"neg", -std::numeric_limits<double>::infinity()},
+              {"fine", 0.5}};
+  const std::string line = json_line(r);
+  EXPECT_NE(line.find("\"dt\":null"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"drift\":null"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"neg\":null"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"fine\":0.5"), std::string::npos) << line;
+  EXPECT_EQ(line.find("nan"), std::string::npos) << line;
+  EXPECT_EQ(line.find("inf"), std::string::npos) << line;
+  // The record must still be valid JSON end to end.
+  testjson::Value doc;
+  ASSERT_TRUE(testjson::parse(line, doc)) << line;
+  EXPECT_EQ(doc.find("dt")->kind, testjson::Value::Kind::Null);
+  EXPECT_EQ(doc.find("gauges")->find("drift")->kind,
+            testjson::Value::Kind::Null);
+  EXPECT_EQ(doc.find("gauges")->find("fine")->number, 0.5);
 }
 
 TEST(JsonLine, EscapesMetricNames) {

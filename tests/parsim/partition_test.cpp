@@ -205,6 +205,21 @@ TEST_P(PartitionEdgeCases, NonUniformWeightsStayValid) {
 INSTANTIATE_TEST_SUITE_P(AllPolicies, PartitionEdgeCases,
                          ::testing::ValuesIn(kAll));
 
+TEST(Partition, LoadImbalanceEdgeBehaviorIsPinned) {
+  // The documented conventions (partition.hpp) are part of the interface;
+  // pin them so nobody reintroduces a 0/0.
+  // No owned blocks at all: balanced by convention, not NaN.
+  EXPECT_DOUBLE_EQ(load_imbalance({}, 4), 1.0);
+  EXPECT_DOUBLE_EQ(load_imbalance({-1, -1, -1}, 4), 1.0);
+  // All-zero weights: zero total, same convention.
+  EXPECT_DOUBLE_EQ(load_imbalance({0, 1, 2}, 3, {0.0, 0.0, 0.0}), 1.0);
+  // More PEs than blocks: 4 unit blocks on 8 PEs gives max 1 against mean
+  // 4/8 — exactly 2.0; the idle half of the machine is real imbalance.
+  EXPECT_DOUBLE_EQ(load_imbalance({0, 1, 2, 3}, 8), 2.0);
+  // Still finite (and exact) with weights attached.
+  EXPECT_DOUBLE_EQ(load_imbalance({0, 1}, 4, {3.0, 1.0}), 3.0);
+}
+
 TEST(Partition, RejectsNegativeWeights) {
   Forest<2> f = make_forest(0);
   std::vector<double> w(static_cast<std::size_t>(f.num_leaves()), 1.0);

@@ -1,0 +1,52 @@
+#include "util/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace ab {
+namespace {
+
+TEST(Crc32, StandardCheckValue) {
+  // The check value every CRC-32/IEEE implementation must reproduce.
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(s, 9), 0xCBF43926u);
+}
+
+TEST(Crc32, KnownVectors) {
+  EXPECT_EQ(crc32("", 0), 0x00000000u);
+  EXPECT_EQ(crc32("a", 1), 0xE8B7BE43u);
+  EXPECT_EQ(crc32("abc", 3), 0x352441C2u);
+  const std::string q = "The quick brown fox jumps over the lazy dog";
+  EXPECT_EQ(crc32(q.data(), q.size()), 0x414FA339u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string s = "adaptive blocks checkpoint section payload";
+  const std::uint32_t whole = crc32(s.data(), s.size());
+  for (std::size_t split = 0; split <= s.size(); ++split) {
+    std::uint32_t c = crc32_update(0, s.data(), split);
+    c = crc32_update(c, s.data() + split, s.size() - split);
+    EXPECT_EQ(c, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32, DetectsEverySingleBitFlip) {
+  // Any single-bit flip in a double payload must change the checksum —
+  // the property the checkpoint loader and fault injector rely on.
+  std::vector<double> payload = {1.0, -0.5, 3.1415926535897931, 0.0, 1e-300};
+  const std::size_t bytes = payload.size() * sizeof(double);
+  const std::uint32_t clean = crc32(payload.data(), bytes);
+  auto* raw = reinterpret_cast<unsigned char*>(payload.data());
+  for (std::size_t bit = 0; bit < bytes * 8; ++bit) {
+    raw[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+    EXPECT_NE(crc32(payload.data(), bytes), clean) << "bit " << bit;
+    raw[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+  }
+  EXPECT_EQ(crc32(payload.data(), bytes), clean);
+}
+
+}  // namespace
+}  // namespace ab

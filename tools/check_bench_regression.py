@@ -44,10 +44,23 @@ def representative(benchmarks):
     return rep
 
 
-def load_benchmarks(path):
-    """Accept raw google-benchmark JSON or the BENCH_*.json wrapper."""
-    with open(path) as f:
-        doc = json.load(f)
+def load_benchmarks(path, label):
+    """Accept raw google-benchmark JSON or the BENCH_*.json wrapper. A
+    missing or malformed file is a usage error reported on stderr, not a
+    traceback."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        sys.exit(f"error: cannot read {label} file {path}: "
+                 f"{e.strerror or e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: {label} file {path} is not valid JSON "
+                 f"(line {e.lineno}: {e.msg})")
+    if not isinstance(doc, dict):
+        sys.exit(f"error: {label} file {path} is not a benchmark JSON "
+                 "object (expected google-benchmark output or the "
+                 "BENCH_*.json wrapper)")
     benches = doc.get("benchmarks", doc.get("after", []))
     context = doc.get("context", doc.get("seed_context", {}))
     return benches, context
@@ -60,10 +73,19 @@ def run_benchmarks(binary, bench_filter, repetitions):
     if repetitions > 1:
         cmd.append(f"--benchmark_repetitions={repetitions}")
         cmd.append("--benchmark_report_aggregates_only=true")
-    with tempfile.NamedTemporaryFile(mode="w+", suffix=".json") as tmp:
-        subprocess.run(cmd, check=True, stdout=tmp)
-        tmp.seek(0)
-        doc = json.load(tmp)
+    try:
+        with tempfile.NamedTemporaryFile(mode="w+", suffix=".json") as tmp:
+            subprocess.run(cmd, check=True, stdout=tmp)
+            tmp.seek(0)
+            doc = json.load(tmp)
+    except OSError as e:
+        sys.exit(f"error: cannot run benchmark binary {binary}: "
+                 f"{e.strerror or e}")
+    except subprocess.CalledProcessError as e:
+        sys.exit(f"error: {binary} exited with status {e.returncode}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: {binary} did not produce valid benchmark JSON "
+                 f"({e.msg})")
     return doc.get("benchmarks", []), doc.get("context", {})
 
 
@@ -100,16 +122,23 @@ def main():
     if args.threshold <= 1.0:
         p.error("--threshold must be > 1.0")
 
-    seed_benches, seed_ctx = load_benchmarks(args.seed)
+    seed_benches, seed_ctx = load_benchmarks(args.seed, "seed baseline")
     if args.bench_binary:
         cur_benches, cur_ctx = run_benchmarks(
             args.bench_binary, args.filter, args.repetitions
         )
     else:
-        cur_benches, cur_ctx = load_benchmarks(args.current)
+        cur_benches, cur_ctx = load_benchmarks(args.current, "current")
 
     seed_rep = representative(seed_benches)
     cur_rep = representative(cur_benches)
+    if not seed_rep:
+        print(
+            f"error: no comparable benchmarks in the seed baseline "
+            f"{args.seed} — an empty baseline would vacuously pass",
+            file=sys.stderr,
+        )
+        return 2
     if not cur_rep:
         print("error: no comparable benchmarks in the current run", file=sys.stderr)
         return 2

@@ -16,8 +16,10 @@ cmake -B "$build_dir" -S "$repo_root" \
 
 targets=(thread_pool_test task_graph_test ghost_test ghost_batch_test
          parallel_solver_test amr_solver_test subcycling_test
-         determinism_test)
+         determinism_test checkpoint_corruption_test fault_test)
 cmake --build "$build_dir" -j --target "${targets[@]}"
 
+# The fault suite rides along: recovery rebuilds solver state wholesale,
+# which is exactly where a latent race would hide.
 ctest --test-dir "$build_dir" --output-on-failure \
-  -R 'ThreadPool|TaskGraph|Ghost|ParallelSolver|AmrSolver|Subcycling|Determinism'
+  -R 'ThreadPool|TaskGraph|Ghost|ParallelSolver|AmrSolver|Subcycling|Determinism|CheckpointCorruption|FaultPlan|FaultyWire|Recovery'

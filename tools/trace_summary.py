@@ -108,8 +108,19 @@ def summarize_report(path, records):
 
     gauges = last.get("gauges", {})
     if gauges:
+        # Non-finite gauges are serialized as JSON null; show them as such.
         print("final gauges: "
-              + "  ".join(f"{k}={v:.6g}" for k, v in sorted(gauges.items())))
+              + "  ".join(f"{k}={'null' if v is None else format(v, '.6g')}"
+                          for k, v in sorted(gauges.items())))
+
+    # Fault-tolerance accounting (counters are cumulative; the last record
+    # holds the run totals): checkpoints written and wire faults survived.
+    counters = last.get("counters", {})
+    robustness = {k: v for k, v in counters.items()
+                  if k.startswith("ckpt.") or k.startswith("fault.")}
+    if robustness:
+        print("robustness: "
+              + "  ".join(f"{k}={v}" for k, v in sorted(robustness.items())))
 
     per_rank = {}
     for r in records:
