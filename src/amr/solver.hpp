@@ -38,6 +38,7 @@
 #include "obs/telemetry.hpp"
 #include "physics/kernel.hpp"
 #include "util/aligned.hpp"
+#include "util/block_pool.hpp"
 #include "util/error.hpp"
 #include "util/task_graph.hpp"
 #include "util/timer.hpp"
@@ -84,16 +85,28 @@ class AmrSolver {
     /// clock reads, no allocation. Attaching one never changes numerics —
     /// instrumentation only reads solver state.
     obs::Telemetry* telemetry = nullptr;
+    /// Back block storage with a shared per-layout BlockPool arena so
+    /// refine/coarsen (and, in rank-parallel runs, migration) recycle
+    /// slabs instead of round-tripping through malloc. Bitwise identical
+    /// to the malloc path. Env override: AB_BLOCK_POOL=0 forces malloc,
+    /// AB_BLOCK_POOL=1 forces the pool (A/B knob for the regrid bench).
+    bool use_block_pool = true;
+    /// Threaded task-graph drain strategy (ignored with num_threads == 1).
+    /// Env override: AB_TASK_STEAL=1 selects WorkStealing, =0 SharedRing.
+    /// Either way results are bitwise identical; see TaskGraph::Mode.
+    TaskGraph::Mode task_graph_mode = TaskGraph::Mode::SharedRing;
   };
 
   AmrSolver(Config cfg, Phys phys)
       : cfg_(std::move(cfg)),
         phys_(std::move(phys)),
         forest_(cfg_.forest),
-        store_(BlockLayout<D>(cfg_.cells_per_block, cfg_.ghost, Phys::NVAR)),
-        scratch_(store_.layout()),
+        block_pool_(make_block_pool(cfg_)),
+        store_(make_store(cfg_, block_pool_)),
+        scratch_(make_store(cfg_, block_pool_)),
         exchanger_(forest_, store_.layout(), cfg_.prolongation),
-        flux_register_(forest_, store_.layout()) {
+        flux_register_(forest_, store_.layout()),
+        task_mode_(resolve_task_mode(cfg_)) {
     if (cfg_.flux_correction) flux_register_.rebuild(exchanger_);
     AB_REQUIRE(cfg_.num_threads >= 1, "AmrSolver: num_threads must be >= 1");
     if (cfg_.num_threads > 1)
@@ -126,6 +139,11 @@ class AmrSolver {
   const Forest<D>& forest() const { return forest_; }
   BlockStore<D>& store() { return store_; }
   const BlockStore<D>& store() const { return store_; }
+  /// The shared slab arena backing this solver's stores (null on the
+  /// malloc path). Stats only; the solver owns the allocation policy.
+  const BlockPool* block_pool() const { return block_pool_.get(); }
+  /// The task-graph drain strategy in effect (config + env override).
+  TaskGraph::Mode task_graph_mode() const { return task_mode_; }
   const GhostExchanger<D>& exchanger() const { return exchanger_; }
   const Config& config() const { return cfg_; }
   const Phys& physics() const { return phys_; }
@@ -263,7 +281,7 @@ class AmrSolver {
       // Refluxing needs the whole stage result before combining: use a
       // third store. (pool_ is only possible here via the AB_BENCH_BARRIER
       // escape hatch; the threaded combine needs per-block storage too.)
-      if (!stage2_) stage2_ = std::make_unique<BlockStore<D>>(lay);
+      if (!stage2_) stage2_ = new_store();
       for (int id : forest_.leaves()) stage2_->ensure(id);
       {
         obs::PhaseScope ps(cfg_.telemetry, "stage_update");
@@ -661,13 +679,17 @@ class AmrSolver {
     obs::Tracer* const tr =
         cfg_.telemetry != nullptr ? &cfg_.telemetry->trace : nullptr;
     stage_graph_.set_tracer(tr, "block_task");
-    for (TaskGraph& g : level_graphs_) g.set_tracer(tr, "block_task");
+    stage_graph_.set_mode(task_mode_);
+    for (TaskGraph& g : level_graphs_) {
+      g.set_tracer(tr, "block_task");
+      g.set_mode(task_mode_);
+    }
   }
 
   void rebuild_stage_graph() {
     stage_graph_.clear();
     if (cfg_.rk_stages == 2) {
-      if (!stage2_) stage2_ = std::make_unique<BlockStore<D>>(store_.layout());
+      if (!stage2_) stage2_ = new_store();
       for (int id : forest_.leaves()) stage2_->ensure(id);
     }
     const Box<D> core = exchanger_.interior_core();
@@ -982,6 +1004,22 @@ class AmrSolver {
         ->add(static_cast<std::uint64_t>(ghost_ops_step_[2]));
     m.gauge("solver.dt")->set(dt);
     m.gauge("solver.blocks")->set(static_cast<double>(forest_.num_leaves()));
+    if (block_pool_ != nullptr) {
+      // Pool counters are cumulative inside the arena; publish deltas so
+      // the obs counters stay additive like every other counter.
+      const BlockPool::Stats& ps = block_pool_->stats();
+      m.gauge("pool.chunks")->set(static_cast<double>(ps.chunks));
+      m.gauge("pool.slabs_in_use")
+          ->set(static_cast<double>(ps.slabs_in_use));
+      m.counter("pool.reuse_hits")
+          ->add(static_cast<std::uint64_t>(ps.reuse_hits -
+                                           pool_reuse_seen_));
+      m.counter("pool.fresh_allocs")
+          ->add(static_cast<std::uint64_t>(ps.fresh_allocs -
+                                           pool_fresh_seen_));
+      pool_reuse_seen_ = ps.reuse_hits;
+      pool_fresh_seen_ = ps.fresh_allocs;
+    }
     m.histogram("solver.step_wall_s",
                 {1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0})
         ->record(wall);
@@ -1015,9 +1053,46 @@ class AmrSolver {
     ghost_ops_step_[0] = ghost_ops_step_[1] = ghost_ops_step_[2] = 0;
   }
 
+  // ------------------------------------------------------------------
+  // Storage/scheduling substrate knobs (config + env A/B overrides).
+
+  static BlockLayout<D> make_layout(const Config& cfg) {
+    return BlockLayout<D>(cfg.cells_per_block, cfg.ghost, Phys::NVAR);
+  }
+
+  /// One slab arena per solver, shared by every store the stepper swaps
+  /// (store_/scratch_/stage2_). Null when the malloc path is selected.
+  static std::shared_ptr<BlockPool> make_block_pool(const Config& cfg) {
+    bool use = cfg.use_block_pool;
+    if (const char* e = std::getenv("AB_BLOCK_POOL")) use = e[0] != '0';
+    if (!use) return nullptr;
+    return std::make_shared<BlockPool>(make_layout(cfg).block_doubles());
+  }
+
+  static BlockStore<D> make_store(const Config& cfg,
+                                  const std::shared_ptr<BlockPool>& pool) {
+    return pool != nullptr ? BlockStore<D>(make_layout(cfg), pool)
+                           : BlockStore<D>(make_layout(cfg));
+  }
+
+  /// A fresh store sharing this solver's pool (or malloc'd without one).
+  std::unique_ptr<BlockStore<D>> new_store() const {
+    return std::make_unique<BlockStore<D>>(
+        make_store(cfg_, block_pool_));
+  }
+
+  static TaskGraph::Mode resolve_task_mode(const Config& cfg) {
+    TaskGraph::Mode m = cfg.task_graph_mode;
+    if (const char* e = std::getenv("AB_TASK_STEAL"))
+      m = e[0] != '0' ? TaskGraph::Mode::WorkStealing
+                      : TaskGraph::Mode::SharedRing;
+    return m;
+  }
+
   Config cfg_;
   Phys phys_;
   Forest<D> forest_;
+  std::shared_ptr<BlockPool> block_pool_;  // null = malloc-backed stores
   BlockStore<D> store_;
   BlockStore<D> scratch_;
   GhostExchanger<D> exchanger_;
@@ -1031,6 +1106,8 @@ class AmrSolver {
   // Observability bookkeeping (only written when cfg_.telemetry != nullptr,
   // except the cheap regrid tallies which adapt() always records).
   std::int64_t step_index_ = 0;
+  std::int64_t pool_reuse_seen_ = 0;  // pool counters exported so far
+  std::int64_t pool_fresh_seen_ = 0;
   int pending_refined_ = 0;    // regrid events since the last step report
   int pending_coarsened_ = 0;
   std::int64_t ghost_ops_step_[3] = {0, 0, 0};  // by GhostOpKind, this step
@@ -1044,6 +1121,7 @@ class AmrSolver {
   std::vector<double> level_t_old_;
   std::vector<double> level_t_cur_;
   // Task-graph stepping (populated only when pool_ exists).
+  TaskGraph::Mode task_mode_ = TaskGraph::Mode::SharedRing;
   TaskGraph stage_graph_;
   StageCtx ctx_;
   std::vector<std::vector<BoundaryFace>> bfaces_by_block_;

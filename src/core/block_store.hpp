@@ -10,10 +10,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "util/aligned.hpp"
+#include "util/block_pool.hpp"
 #include "util/box.hpp"
 #include "util/error.hpp"
 #include "util/vec.hpp"
@@ -121,68 +123,176 @@ struct ConstBlockView {
 
 /// Field storage for all active blocks, indexed by forest node id. Only
 /// leaves carry data; slots follow node-id reuse in the forest.
+///
+/// Two backing modes share one interface:
+///  - malloc mode (single-argument constructor): each block is its own
+///    AlignedBuffer, allocated on ensure() and freed on release();
+///  - pooled mode (pool constructor): blocks are slabs acquired from a
+///    shared BlockPool arena sized to this layout, so regrid churn
+///    recycles slabs instead of round-tripping through the allocator.
+///    Stores that swap blocks (or whole stores) with each other must
+///    share the same pool.
+/// Both modes zero-fill on ensure() and keep block addresses stable for
+/// the block's lifetime, so they are bitwise interchangeable.
 template <int D>
 class BlockStore {
  public:
   explicit BlockStore(BlockLayout<D> layout) : layout_(layout) {}
 
+  /// Pooled mode. The pool's slab size must match this layout exactly —
+  /// a pool is per-layout, shared by the store pairs the steppers swap.
+  BlockStore(BlockLayout<D> layout, std::shared_ptr<BlockPool> pool)
+      : layout_(layout), pool_(std::move(pool)) {
+    AB_REQUIRE(pool_ != nullptr, "BlockStore: null pool");
+    AB_REQUIRE(pool_->slab_doubles() == layout_.block_doubles(),
+               "BlockStore: pool slab size does not match layout");
+  }
+
+  BlockStore(const BlockStore&) = delete;
+  BlockStore& operator=(const BlockStore&) = delete;
+  BlockStore(BlockStore&& o) noexcept
+      : layout_(o.layout_),
+        buffers_(std::move(o.buffers_)),
+        pool_(std::move(o.pool_)),
+        handles_(std::move(o.handles_)),
+        ptrs_(std::move(o.ptrs_)),
+        num_allocated_(std::exchange(o.num_allocated_, 0)) {}
+  BlockStore& operator=(BlockStore&& o) noexcept {
+    if (this != &o) {
+      release_all();
+      layout_ = o.layout_;
+      buffers_ = std::move(o.buffers_);
+      pool_ = std::move(o.pool_);
+      handles_ = std::move(o.handles_);
+      ptrs_ = std::move(o.ptrs_);
+      num_allocated_ = std::exchange(o.num_allocated_, 0);
+    }
+    return *this;
+  }
+  ~BlockStore() { release_all(); }
+
   const BlockLayout<D>& layout() const { return layout_; }
+  bool pooled() const { return pool_ != nullptr; }
+  const std::shared_ptr<BlockPool>& pool() const { return pool_; }
 
   /// Allocate (zero-filled) data for block `id` if not already present.
   void ensure(int id) {
     AB_REQUIRE(id >= 0, "BlockStore: bad id");
+    if (pool_ != nullptr) {
+      if (id >= static_cast<int>(handles_.size())) {
+        handles_.resize(static_cast<std::size_t>(id) + 1);
+        ptrs_.resize(static_cast<std::size_t>(id) + 1, nullptr);
+      }
+      if (!handles_[static_cast<std::size_t>(id)].valid()) {
+        handles_[static_cast<std::size_t>(id)] = pool_->acquire();
+        ptrs_[static_cast<std::size_t>(id)] =
+            pool_->data(handles_[static_cast<std::size_t>(id)]);
+        ++num_allocated_;
+      }
+      return;
+    }
     if (id >= static_cast<int>(buffers_.size()))
       buffers_.resize(static_cast<std::size_t>(id) + 1);
-    if (buffers_[id].empty())
+    if (buffers_[id].empty()) {
       buffers_[id].allocate(static_cast<std::size_t>(layout_.block_doubles()));
+      ++num_allocated_;
+    }
   }
 
-  /// Free the data of block `id` (no-op if absent).
+  /// Free the data of block `id` (no-op if absent). Pooled slabs go back
+  /// to the arena for reuse; malloc'd buffers are freed.
   void release(int id) {
-    if (id >= 0 && id < static_cast<int>(buffers_.size()))
+    if (pool_ != nullptr) {
+      if (id >= 0 && id < static_cast<int>(handles_.size()) &&
+          handles_[static_cast<std::size_t>(id)].valid()) {
+        pool_->release(handles_[static_cast<std::size_t>(id)]);
+        handles_[static_cast<std::size_t>(id)] = BlockPool::Handle{};
+        ptrs_[static_cast<std::size_t>(id)] = nullptr;
+        --num_allocated_;
+      }
+      return;
+    }
+    if (id >= 0 && id < static_cast<int>(buffers_.size()) &&
+        !buffers_[id].empty()) {
       buffers_[id].release();
+      --num_allocated_;
+    }
   }
 
   bool has(int id) const {
+    if (pool_ != nullptr)
+      return id >= 0 && id < static_cast<int>(handles_.size()) &&
+             handles_[static_cast<std::size_t>(id)].valid();
     return id >= 0 && id < static_cast<int>(buffers_.size()) &&
            !buffers_[id].empty();
   }
 
   BlockView<D> view(int id) {
     AB_ASSERT(has(id));
-    return BlockView<D>{buffers_[id].data(), &layout_};
+    return BlockView<D>{base_of(id), &layout_};
   }
   ConstBlockView<D> view(int id) const {
     AB_ASSERT(has(id));
-    return ConstBlockView<D>{buffers_[id].data(), &layout_};
+    return ConstBlockView<D>{base_of(id), &layout_};
   }
 
   /// Swap one block's buffer with the same block in another store of the
   /// same layout (O(1); used by steppers to retire a block's old state).
+  /// Pooled stores must share one pool, so either store can later release
+  /// the swapped-in slab to the arena that owns it.
   void swap_block(BlockStore& other, int id) {
     AB_REQUIRE(layout_ == other.layout_, "swap_block: layout mismatch");
+    AB_REQUIRE(pool_.get() == other.pool_.get(),
+               "swap_block: stores do not share a pool");
     AB_REQUIRE(has(id) && other.has(id), "swap_block: missing data");
+    if (pool_ != nullptr) {
+      std::swap(handles_[static_cast<std::size_t>(id)],
+                other.handles_[static_cast<std::size_t>(id)]);
+      std::swap(ptrs_[static_cast<std::size_t>(id)],
+                other.ptrs_[static_cast<std::size_t>(id)]);
+      return;
+    }
     std::swap(buffers_[static_cast<std::size_t>(id)],
               other.buffers_[static_cast<std::size_t>(id)]);
   }
 
-  /// Number of allocated blocks.
-  int num_allocated() const {
-    int n = 0;
-    for (const auto& b : buffers_)
-      if (!b.empty()) ++n;
-    return n;
-  }
-  /// Total allocated doubles across blocks.
+  /// Number of allocated blocks. O(1): maintained by ensure/release (the
+  /// step reports read these on the hot path).
+  int num_allocated() const { return num_allocated_; }
+  /// Total allocated doubles across blocks. O(1); every allocated block
+  /// holds exactly layout().block_doubles().
   std::int64_t total_doubles() const {
-    std::int64_t n = 0;
-    for (const auto& b : buffers_) n += static_cast<std::int64_t>(b.size());
-    return n;
+    return static_cast<std::int64_t>(num_allocated_) *
+           layout_.block_doubles();
   }
 
  private:
+  const double* base_of(int id) const {
+    return pool_ != nullptr ? ptrs_[static_cast<std::size_t>(id)]
+                            : buffers_[static_cast<std::size_t>(id)].data();
+  }
+  double* base_of(int id) {
+    return pool_ != nullptr ? ptrs_[static_cast<std::size_t>(id)]
+                            : buffers_[static_cast<std::size_t>(id)].data();
+  }
+
+  /// Return every pooled slab to the arena (malloc buffers free
+  /// themselves). Called by the destructor and move-assignment.
+  void release_all() {
+    if (pool_ == nullptr) return;
+    for (auto& h : handles_) {
+      if (h.valid()) pool_->release(h);
+      h = BlockPool::Handle{};
+    }
+    num_allocated_ = 0;
+  }
+
   BlockLayout<D> layout_;
-  std::vector<AlignedBuffer> buffers_;
+  std::vector<AlignedBuffer> buffers_;     // malloc mode
+  std::shared_ptr<BlockPool> pool_;        // pooled mode (null = malloc)
+  std::vector<BlockPool::Handle> handles_; // pooled mode, by block id
+  std::vector<double*> ptrs_;              // cached slab addresses, by id
+  int num_allocated_ = 0;
 };
 
 }  // namespace ab

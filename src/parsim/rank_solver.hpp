@@ -27,7 +27,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -81,6 +83,7 @@ class RankSolver {
         phys_(std::move(phys)),
         forest_(cfg_.solver.forest),
         layout_(cfg_.solver.cells_per_block, cfg_.solver.ghost, Phys::NVAR),
+        block_pool_(make_block_pool(cfg_.solver, layout_)),
         exchanger_(forest_, layout_, cfg_.solver.prolongation),
         owner_(partition_blocks<D>(forest_, cfg_.npes, cfg_.policy)),
         buffered_(exchanger_, owner_, cfg_.npes) {
@@ -99,13 +102,13 @@ class RankSolver {
     scratch_.reserve(static_cast<std::size_t>(cfg_.npes));
     registers_.reserve(static_cast<std::size_t>(cfg_.npes));
     for (int p = 0; p < cfg_.npes; ++p) {
-      stores_.emplace_back(layout_);
-      scratch_.emplace_back(layout_);
+      stores_.push_back(make_store());
+      scratch_.push_back(make_store());
       registers_.emplace_back(forest_, layout_);
     }
     if (use_stage2()) {
       stage2_.reserve(static_cast<std::size_t>(cfg_.npes));
-      for (int p = 0; p < cfg_.npes; ++p) stage2_.emplace_back(layout_);
+      for (int p = 0; p < cfg_.npes; ++p) stage2_.push_back(make_store());
     }
     for (int id : forest_.leaves()) {
       stores_[static_cast<std::size_t>(owner_at(id))].ensure(id);
@@ -141,6 +144,9 @@ class RankSolver {
   ConstBlockView<D> block_view(int id) const {
     return stores_[static_cast<std::size_t>(owner_at(id))].view(id);
   }
+  /// The shared slab arena backing every per-rank store (null on the
+  /// malloc path). Stats only.
+  const BlockPool* block_pool() const { return block_pool_.get(); }
   const RankStepCost& last_step_cost() const { return last_step_; }
   const RegridCost& last_regrid_cost() const { return last_regrid_; }
   const RankRunTotals& totals() const { return totals_; }
@@ -316,10 +322,10 @@ class RankSolver {
     forest_.rebuild_neighbor_table();
     exchanger_.rebuild();
     for (int p = 0; p < cfg_.npes; ++p) {
-      stores_[static_cast<std::size_t>(p)] = BlockStore<D>(layout_);
-      scratch_[static_cast<std::size_t>(p)] = BlockStore<D>(layout_);
+      stores_[static_cast<std::size_t>(p)] = make_store();
+      scratch_[static_cast<std::size_t>(p)] = make_store();
       if (use_stage2())
-        stage2_[static_cast<std::size_t>(p)] = BlockStore<D>(layout_);
+        stage2_[static_cast<std::size_t>(p)] = make_store();
     }
     owner_ = partition_alive();
     const std::int64_t payload = block_payload_doubles<D>(layout_);
@@ -717,6 +723,21 @@ class RankSolver {
     m.gauge("rank.load_imbalance")->set(sc.imbalance);
     m.gauge("rank.t_step_model_s")->set(sc.t_step);
     m.gauge("rank.efficiency")->set(sc.efficiency);
+    if (block_pool_ != nullptr) {
+      // Arena totals are cumulative; counters take per-step deltas.
+      const BlockPool::Stats& ps = block_pool_->stats();
+      m.gauge("pool.chunks")->set(static_cast<double>(ps.chunks));
+      m.gauge("pool.slabs_in_use")
+          ->set(static_cast<double>(ps.slabs_in_use));
+      m.counter("pool.reuse_hits")
+          ->add(static_cast<std::uint64_t>(ps.reuse_hits -
+                                           pool_reuse_seen_));
+      m.counter("pool.fresh_allocs")
+          ->add(static_cast<std::uint64_t>(ps.fresh_allocs -
+                                           pool_fresh_seen_));
+      pool_reuse_seen_ = ps.reuse_hits;
+      pool_fresh_seen_ = ps.fresh_allocs;
+    }
     if (cfg_.faults != nullptr) {
       // The plan's stats are run totals; counters take per-step deltas.
       const FaultStats& fs = cfg_.faults->stats();
@@ -765,10 +786,28 @@ class RankSolver {
     }
   }
 
+  /// One slab arena per solver shared by every per-rank store (same
+  /// layout throughout), so migration and refine/coarsen recycle slabs
+  /// across ranks instead of hitting malloc. Null = malloc-backed stores
+  /// (cfg.solver.use_block_pool, env AB_BLOCK_POOL — see AmrSolver).
+  static std::shared_ptr<BlockPool> make_block_pool(
+      const SolverConfig& cfg, const BlockLayout<D>& layout) {
+    bool use = cfg.use_block_pool;
+    if (const char* e = std::getenv("AB_BLOCK_POOL")) use = e[0] != '0';
+    if (!use) return nullptr;
+    return std::make_shared<BlockPool>(layout.block_doubles());
+  }
+
+  BlockStore<D> make_store() const {
+    return block_pool_ != nullptr ? BlockStore<D>(layout_, block_pool_)
+                                  : BlockStore<D>(layout_);
+  }
+
   Config cfg_;
   Phys phys_;
   Forest<D> forest_;
   BlockLayout<D> layout_;
+  std::shared_ptr<BlockPool> block_pool_;  // null = malloc-backed stores
   GhostExchanger<D> exchanger_;
   std::vector<int> owner_;  ///< node id -> rank (-1 for non-leaves)
   BufferedExchange<D> buffered_;
@@ -784,6 +823,8 @@ class RankSolver {
   int num_alive_ = 0;
   std::string last_checkpoint_path_;
   FaultStats fault_prev_;  ///< last stats published to the metrics registry
+  std::int64_t pool_reuse_seen_ = 0;  ///< pool counters exported so far
+  std::int64_t pool_fresh_seen_ = 0;
   double time_ = 0.0;
   std::uint64_t flops_ = 0;
   std::uint64_t block_updates_ = 0;

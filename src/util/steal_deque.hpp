@@ -1,0 +1,102 @@
+// Chase-Lev work-stealing deque (fixed capacity) for the TaskGraph.
+//
+// One deque per worker: the owner pushes and pops newly-ready tasks at the
+// bottom (LIFO — a task's successors are cache-warm from the task that
+// enabled them), thieves steal from the top (FIFO — they take the oldest,
+// least-cache-relevant work). Memory ordering follows Lê, Pop, Cohen &
+// Zappa Nardelli, "Correct and Efficient Work-Stealing for Weak Memory
+// Models" (PPoPP'13), the C11 rendition of Chase & Lev's original.
+//
+// The TaskGraph pre-sizes each deque to the total task count: a deque's
+// occupancy can never exceed the number of pushes its owner ever makes in
+// one drain (at most all n tasks), so the circular buffer can never
+// overflow and the grow path of the general-purpose structure (cf.
+// Boostibot/c_lib chase_lev_queue.h) is deliberately absent.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace ab {
+
+/// Single-owner, multi-thief deque of non-negative ints. reset() must be
+/// called (by one thread, happens-before all workers) before each drain.
+class StealDeque {
+ public:
+  /// Empty/lost-race sentinel returned by pop() and steal().
+  static constexpr int kEmpty = -1;
+
+  /// Prepare for a drain in which at most `max_items` pushes will happen.
+  /// Reuses the buffer when already large enough.
+  void reset(int max_items) {
+    const std::size_t cap =
+        std::bit_ceil(static_cast<std::size_t>(max_items < 2 ? 2 : max_items));
+    if (buf_.size() != cap)
+      buf_ = std::vector<std::atomic<int>>(cap);
+    mask_ = static_cast<std::int64_t>(cap) - 1;
+    top_.store(0, std::memory_order_relaxed);
+    bottom_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Owner only. Capacity is guaranteed by reset(); see header comment.
+  void push(int v) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    AB_ASSERT(b - top_.load(std::memory_order_relaxed) <= mask_);
+    buf_[static_cast<std::size_t>(b & mask_)].store(
+        v, std::memory_order_relaxed);
+    // Publish the element before the new bottom becomes visible to thieves.
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner only: take the most recently pushed item, or kEmpty.
+  int pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    int x = kEmpty;
+    if (t <= b) {
+      x = buf_[static_cast<std::size_t>(b & mask_)].load(
+          std::memory_order_relaxed);
+      if (t == b) {
+        // Last element: race the thieves for it.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed))
+          x = kEmpty;  // a thief won
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {  // deque was empty
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return x;
+  }
+
+  /// Any thread: take the oldest item, or kEmpty (empty, or lost the race
+  /// to another thief/the owner — the winner guarantees progress).
+  int steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return kEmpty;
+    const int x =
+        buf_[static_cast<std::size_t>(t & mask_)].load(
+            std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+      return kEmpty;
+    return x;
+  }
+
+ private:
+  std::vector<std::atomic<int>> buf_;
+  std::int64_t mask_ = 0;
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+};
+
+}  // namespace ab

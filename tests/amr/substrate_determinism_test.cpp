@@ -1,0 +1,161 @@
+// Memory/scheduling substrate determinism: the pooled BlockPool arena and
+// the work-stealing TaskGraph mode are pure performance substitutions —
+// multi-step AMR runs with mid-run regrids (and, on the rank-parallel
+// side, re-partitioning + block migration) must be BITWISE identical
+// across {pooled, malloc} x {WorkStealing, SharedRing} x thread counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "amr/solver.hpp"
+#include "parsim/rank_solver.hpp"
+#include "physics/euler.hpp"
+
+namespace ab {
+namespace {
+
+Euler<2> euler;
+auto euler_ic = [](const RVec<2>& x, Euler<2>::State& s) {
+  const double dx = x[0] - 0.5, dy = x[1] - 0.5;
+  s = euler.from_primitive(1.0 + 0.8 * std::exp(-40 * (dx * dx + dy * dy)),
+                           {0.4, -0.3}, 1.0);
+};
+
+struct SubstrateOpts {
+  bool pool = true;
+  TaskGraph::Mode mode = TaskGraph::Mode::SharedRing;
+  int threads = 1;
+  bool flux_correction = true;
+};
+
+AmrSolver<2, Euler<2>>::Config make_config(const SubstrateOpts& o) {
+  AmrSolver<2, Euler<2>>::Config cfg;
+  cfg.forest.root_blocks = {2, 2};
+  cfg.forest.periodic = {true, true};
+  cfg.forest.max_level = 2;
+  cfg.cells_per_block = {8, 8};
+  cfg.num_threads = o.threads;
+  cfg.rk_stages = 2;
+  cfg.flux_correction = o.flux_correction;
+  cfg.use_block_pool = o.pool;
+  cfg.task_graph_mode = o.mode;
+  return cfg;
+}
+
+/// 8 steps with regrids after steps 2 and 5 — enough churn that pooled
+/// stores recycle slabs and the stealing drain runs many shapes.
+std::vector<double> run(const SubstrateOpts& o) {
+  AmrSolver<2, Euler<2>> solver(make_config(o), euler);
+  EXPECT_EQ(solver.block_pool() != nullptr, o.pool);
+  EXPECT_EQ(solver.task_graph_mode(), o.mode);
+  solver.init(euler_ic);
+  GradientCriterion<2> crit{0, 0.05, 0.01, 2};
+  solver.adapt(crit);
+  solver.init(euler_ic);
+  std::vector<double> out;
+  for (int i = 0; i < 8; ++i) {
+    const double dt = solver.compute_dt();
+    out.push_back(dt);
+    solver.step(dt);
+    if (i == 2 || i == 5) solver.adapt(crit);
+  }
+  for (int id : solver.forest().leaves()) {
+    ConstBlockView<2> v = solver.store().view(id);
+    out.push_back(static_cast<double>(solver.forest().level(id)));
+    for_each_cell<2>(solver.store().layout().interior_box(), [&](IVec<2> p) {
+      for (int k = 0; k < Euler<2>::NVAR; ++k) out.push_back(v.at(k, p));
+    });
+  }
+  if (o.pool) {
+    // The regrids must actually have exercised slab recycling.
+    EXPECT_GT(solver.block_pool()->stats().reuse_hits, 0);
+    EXPECT_GT(solver.block_pool()->stats().chunks, 0);
+  }
+  return out;
+}
+
+void expect_bitwise_equal(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(a[i], b[i]) << "element " << i;
+}
+
+TEST(SubstrateDeterminism, PooledMatchesMallocAcrossRegrids) {
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    SubstrateOpts malloc_opts;
+    malloc_opts.pool = false;
+    malloc_opts.threads = threads;
+    SubstrateOpts pool_opts = malloc_opts;
+    pool_opts.pool = true;
+    expect_bitwise_equal(run(malloc_opts), run(pool_opts));
+  }
+}
+
+TEST(SubstrateDeterminism, StealingMatchesSharedRingEveryThreadCount) {
+  SubstrateOpts ring;
+  ring.mode = TaskGraph::Mode::SharedRing;
+  ring.threads = 1;
+  const std::vector<double> ref = run(ring);
+  for (int threads : {1, 2, 3, 4}) {
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    SubstrateOpts steal;
+    steal.mode = TaskGraph::Mode::WorkStealing;
+    steal.threads = threads;
+    expect_bitwise_equal(ref, run(steal));
+  }
+}
+
+TEST(SubstrateDeterminism, FullSubstrateMatchesLegacyBaseline) {
+  // Both knobs flipped at once vs. both off: the production A/B pairing.
+  SubstrateOpts legacy;
+  legacy.pool = false;
+  legacy.mode = TaskGraph::Mode::SharedRing;
+  legacy.threads = 4;
+  SubstrateOpts substrate;
+  substrate.pool = true;
+  substrate.mode = TaskGraph::Mode::WorkStealing;
+  substrate.threads = 4;
+  expect_bitwise_equal(run(legacy), run(substrate));
+}
+
+// Rank-parallel: pooled per-rank stores must stay bitwise identical to
+// malloc-backed ones across mid-run regrids that re-partition and migrate
+// blocks between ranks (migration swaps slabs through the shared pool).
+TEST(SubstrateDeterminism, RankSolverPooledMatchesMallocAcrossMigration) {
+  auto run_ranks = [&](bool pool) {
+    auto scfg = make_config(SubstrateOpts{});
+    scfg.use_block_pool = pool;
+    RankSolver<2, Euler<2>>::Config rcfg;
+    rcfg.solver = scfg;
+    rcfg.npes = 3;
+    rcfg.policy = PartitionPolicy::Hilbert;
+    RankSolver<2, Euler<2>> ranks(rcfg, euler);
+    EXPECT_EQ(ranks.block_pool() != nullptr, pool);
+    ranks.init(euler_ic);
+    GradientCriterion<2> crit{0, 0.05, 0.01, 2};
+    ranks.adapt(crit);
+    ranks.init(euler_ic);
+    std::vector<double> out;
+    for (int i = 0; i < 6; ++i) {
+      const double dt = ranks.compute_dt();
+      out.push_back(dt);
+      ranks.step(dt);
+      if (i == 1 || i == 3) ranks.adapt(crit);  // repartition + migrate
+    }
+    for (int id : ranks.forest().leaves()) {
+      ConstBlockView<2> v = ranks.block_view(id);
+      out.push_back(static_cast<double>(ranks.forest().level(id)));
+      for_each_cell<2>(v.layout->interior_box(), [&](IVec<2> p) {
+        for (int k = 0; k < Euler<2>::NVAR; ++k) out.push_back(v.at(k, p));
+      });
+    }
+    return out;
+  };
+  expect_bitwise_equal(run_ranks(false), run_ranks(true));
+}
+
+}  // namespace
+}  // namespace ab

@@ -14,12 +14,15 @@ cmake -B "$build_dir" -S "$repo_root" \
   -DAB_SANITIZE_THREAD=ON \
   -DAB_NATIVE_ARCH=OFF
 
-targets=(thread_pool_test task_graph_test ghost_test ghost_batch_test
-         parallel_solver_test amr_solver_test subcycling_test
-         determinism_test checkpoint_corruption_test fault_test)
+targets=(thread_pool_test task_graph_test block_pool_test ghost_test
+         ghost_batch_test parallel_solver_test amr_solver_test
+         subcycling_test determinism_test substrate_determinism_test
+         checkpoint_corruption_test fault_test)
 cmake --build "$build_dir" -j --target "${targets[@]}"
 
 # The fault suite rides along: recovery rebuilds solver state wholesale,
-# which is exactly where a latent race would hide.
+# which is exactly where a latent race would hide. The substrate suite
+# exercises the work-stealing deques and the pooled stores under threaded
+# steppers — the two new places a data race could live.
 ctest --test-dir "$build_dir" --output-on-failure \
-  -R 'ThreadPool|TaskGraph|Ghost|ParallelSolver|AmrSolver|Subcycling|Determinism|CheckpointCorruption|FaultPlan|FaultyWire|Recovery'
+  -R 'ThreadPool|TaskGraph|BlockPool|BlockStorePool|Ghost|ParallelSolver|AmrSolver|Subcycling|Determinism|SubstrateDeterminism|CheckpointCorruption|FaultPlan|FaultyWire|Recovery'

@@ -122,6 +122,20 @@ def summarize_report(path, records):
         print("robustness: "
               + "  ".join(f"{k}={v}" for k, v in sorted(robustness.items())))
 
+    # Block-pool substrate: cumulative slab traffic (counters) plus the
+    # final arena shape (gauges). Absent entirely for malloc-backed runs.
+    pool = {k: v for k, v in counters.items() if k.startswith("pool.")}
+    pool.update({k: v for k, v in gauges.items() if k.startswith("pool.")})
+    if pool:
+        hits = pool.get("pool.reuse_hits", 0)
+        fresh = pool.get("pool.fresh_allocs", 0)
+        line = "pool: " + "  ".join(
+            f"{k}={'null' if v is None else format(v, '.6g')}"
+            for k, v in sorted(pool.items()))
+        if hits + fresh > 0:
+            line += f"  (reuse rate {100.0 * hits / (hits + fresh):.1f}%)"
+        print(line)
+
     per_rank = {}
     for r in records:
         for t in r.get("per_rank", []):
