@@ -7,19 +7,27 @@
 // at 12^3 (removable by padding) and 32^3 (removable by sub-blocking into
 // 16^3) were attributed to T3D cache effects.
 //
-// This harness measures the real wall-clock time per cell of the ideal-MHD
-// block update (ghost exchange + second-order kernel) for block sizes
-// 2^3..32^3 at a fixed total cell budget, plus:
+// The sweep itself is the autotuner's probe harness (src/tune/probe.hpp —
+// the same measurement the solver runs at startup with Config::autotune):
+// ghost exchange + second-order MHD update per candidate (m, pad, sub)
+// layout. On top of the curve this adds:
 //   * the 12^3+pad ablation (one padded surface of cells, paper's fix);
+//   * 32^3 swept as 16^3 tiles (paper's sub-blocking fix);
 //   * a true single-cell octree baseline (the point the paper could not
 //     time without "significant rewriting" — we built it: src/celltree);
 // Absolute numbers differ from a 1996 T3D PE; the SHAPE (steep drop, then
 // plateau; tree baseline far above all block sizes) is the reproduction
 // target.
+//
+// --json emits the curve plus the autotuner's selection as one JSON object
+// (consumed by bench/run_benchmarks.sh into BENCH_solver.json); the
+// celltree/first-order comparison is skipped in that mode.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "celltree/celltree_solver.hpp"
@@ -28,6 +36,8 @@
 #include "core/ghost.hpp"
 #include "physics/kernel.hpp"
 #include "physics/mhd.hpp"
+#include "tune/autotuner.hpp"
+#include "tune/probe.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -35,147 +45,27 @@ using namespace ab;
 
 namespace {
 
-struct Sample {
-  int m = 0;
-  int pad = 0;
-  long long cells = 0;
-  int blocks = 0;
-  double ns_per_cell = 0.0;
-};
+tune::ProbeBudget fig5_budget(int m) {
+  tune::ProbeBudget b;
+  b.min_seconds = 0.25;
+  b.repetitions = 3;
+  // 2x2x2 blocks carry a 27x ghost-allocation overhead; cap their budget to
+  // keep memory bounded. Everything else runs at ~48^3 cells.
+  b.budget_edge = m == 2 ? 32 : 48;
+  return b;
+}
 
-/// Smooth MHD field used to fill every configuration.
+/// The Figure-5 sweep: the paper's block-size curve plus the two ablations.
+std::vector<tune::ProbeCandidate> fig5_candidates() {
+  std::vector<tune::ProbeCandidate> cs;
+  for (int m : {2, 4, 6, 8, 12, 16, 24, 32}) cs.push_back({m, 0, 0});
+  cs.push_back({12, 1, 0});   // 12^3 + one padded surface
+  cs.push_back({32, 0, 16});  // 32^3 swept as 16^3 tiles
+  return cs;
+}
+
 IdealMhd<3>::State smooth_state(const IdealMhd<3>& phys, const RVec<3>& x) {
-  const double s = std::sin(2.0 * M_PI * x[0]) * 0.1;
-  return phys.from_primitive(1.0 + s, {0.5, 0.1, -0.2},
-                             {0.2, 0.3 + s, 0.1}, 1.0 + 0.5 * s);
-}
-
-/// Time (ghost fill + second-order MHD update) per cell for cubic blocks of
-/// edge m, at a total budget of ~`budget_edge`^3 cells.
-Sample time_block_size(int m, int budget_edge, int pad) {
-  IdealMhd<3> phys;
-  const int root = std::max(1, budget_edge / m);
-  Forest<3>::Config fc;
-  fc.root_blocks = IVec<3>(root);
-  fc.periodic = {true, true, true};
-  fc.max_level = 1;
-  Forest<3> forest(fc);
-
-  BlockLayout<3> lay(IVec<3>(m), 2, IdealMhd<3>::NVAR, pad);
-  BlockStore<3> store(lay), out(lay);
-  for (int id : forest.leaves()) {
-    store.ensure(id);
-    out.ensure(id);
-    BlockView<3> v = store.view(id);
-    RVec<3> lo = forest.block_lo(id);
-    RVec<3> dx = forest.block_size(0);
-    for (int d = 0; d < 3; ++d) dx[d] /= m;
-    for_each_cell<3>(lay.interior_box(), [&](IVec<3> p) {
-      RVec<3> x;
-      for (int d = 0; d < 3; ++d) x[d] = lo[d] + (p[d] + 0.5) * dx[d];
-      auto u = smooth_state(phys, x);
-      for (int k = 0; k < 8; ++k) v.at(k, p) = u[k];
-    });
-  }
-  GhostExchanger<3> gx(forest, lay);
-
-  const RVec<3> dx = [&] {
-    RVec<3> d = forest.block_size(0);
-    for (int k = 0; k < 3; ++k) d[k] /= m;
-    return d;
-  }();
-  const double dt = 1e-4;
-
-  Sample s;
-  s.m = m;
-  s.pad = pad;
-  s.blocks = forest.num_leaves();
-  s.cells = static_cast<long long>(s.blocks) * lay.interior_cells();
-
-  auto sweep = [&] {
-    gx.fill(store);
-    for (int id : forest.leaves()) {
-      fv_block_update<3, IdealMhd<3>>(lay, store.view(id).base,
-                                      out.view(id).base, phys, dx, dt,
-                                      SpatialOrder::Second,
-                                      LimiterKind::VanLeer);
-    }
-  };
-  sweep();  // warm-up (faults pages, fills caches)
-
-  // Repeat until >= 0.25 s of measured work.
-  int reps = 1;
-  double secs = 0.0;
-  for (;;) {
-    Timer t;
-    for (int r = 0; r < reps; ++r) sweep();
-    secs = t.seconds();
-    if (secs >= 0.25 || reps >= 1 << 14) break;
-    reps = std::max(reps + 1, static_cast<int>(reps * 0.3 / std::max(secs, 1e-9)));
-    reps = std::min(reps, 1 << 14);
-  }
-  s.ns_per_cell = secs / reps / s.cells * 1e9;
-  return s;
-}
-
-/// The paper's 32^3 fix: "data mining the larger blocks into smaller ones"
-/// — update each 32^3 block as eight 16^3 tiles so the working set per
-/// sweep matches the 16^3 cache footprint.
-Sample time_sub_blocked_32() {
-  IdealMhd<3> phys;
-  Forest<3>::Config fc;
-  fc.root_blocks = IVec<3>(1);
-  fc.periodic = {true, true, true};
-  Forest<3> forest(fc);
-  BlockLayout<3> lay(IVec<3>(32), 2, IdealMhd<3>::NVAR);
-  BlockStore<3> store(lay), out(lay);
-  for (int id : forest.leaves()) {
-    store.ensure(id);
-    out.ensure(id);
-    BlockView<3> v = store.view(id);
-    RVec<3> dxc = forest.block_size(0);
-    for (int d = 0; d < 3; ++d) dxc[d] /= 32;
-    for_each_cell<3>(lay.interior_box(), [&](IVec<3> p) {
-      RVec<3> x;
-      for (int d = 0; d < 3; ++d) x[d] = (p[d] + 0.5) * dxc[d];
-      auto u = smooth_state(phys, x);
-      for (int k = 0; k < 8; ++k) v.at(k, p) = u[k];
-    });
-  }
-  GhostExchanger<3> gx(forest, lay);
-  RVec<3> dx = forest.block_size(0);
-  for (int d = 0; d < 3; ++d) dx[d] /= 32;
-
-  std::vector<Box<3>> tiles;
-  for (int tz = 0; tz < 2; ++tz)
-    for (int ty = 0; ty < 2; ++ty)
-      for (int tx = 0; tx < 2; ++tx)
-        tiles.push_back(Box<3>({tx * 16, ty * 16, tz * 16},
-                               {(tx + 1) * 16, (ty + 1) * 16, (tz + 1) * 16}));
-
-  auto sweep = [&] {
-    gx.fill(store);
-    for (int id : forest.leaves())
-      for (const Box<3>& tile : tiles)
-        fv_block_update<3, IdealMhd<3>>(lay, store.view(id).base,
-                                        out.view(id).base, phys, dx, 1e-4,
-                                        SpatialOrder::Second,
-                                        LimiterKind::VanLeer,
-                                        FluxScheme::Rusanov, nullptr, &tile);
-  };
-  sweep();
-  Timer t;
-  int reps = 0;
-  while (t.seconds() < 0.25) {
-    sweep();
-    ++reps;
-  }
-  Sample s;
-  s.m = 32;
-  s.blocks = 1;
-  s.cells = 32768;
-  s.ns_per_cell = t.seconds() / reps / s.cells * 1e9;
-  return s;
+  return tune::detail::smooth_state<3>(phys, x);
 }
 
 /// The true single-cell tree baseline: a uniform octree solving the same
@@ -255,41 +145,81 @@ double time_block_first_order(int m, int budget_edge) {
   return t.seconds() / reps / cells * 1e9;
 }
 
+std::string label_of(const tune::ProbeCandidate& c) {
+  std::string s = std::to_string(c.m) + "^3";
+  if (c.pad0 > 0) s += "+pad";
+  if (c.sub_block > 0)
+    s += " as " + std::to_string(c.sub_block) + "^3 tiles";
+  return s;
+}
+
+void print_json(const std::vector<tune::ProbeResult>& results) {
+  // Selection over the measured curve (no geometry constraint: the bench
+  // reports the host-global optimum, not a fit to one run's grid).
+  const tune::Selection sel = tune::select_layout(results, {}, 2, 0.03);
+  std::printf("{\"curve\":[");
+  bool first = true;
+  for (const tune::ProbeResult& r : results) {
+    std::printf("%s{\"m\":%d,\"pad0\":%d,\"sub_block\":%d,"
+                "\"ns_per_cell\":%.6g,\"blocks\":%d,\"cells\":%lld}",
+                first ? "" : ",", r.cand.m, r.cand.pad0, r.cand.sub_block,
+                r.ns_per_cell, r.blocks, r.cells);
+    first = false;
+  }
+  std::printf("],\"chosen\":");
+  if (sel.ok) {
+    std::printf("{\"m\":%d,\"pad0\":%d,\"sub_block\":%d,"
+                "\"ns_per_cell\":%.6g}",
+                sel.best.cand.m, sel.best.cand.pad0, sel.best.cand.sub_block,
+                sel.best.ns_per_cell);
+  } else {
+    std::printf("null");
+  }
+  std::printf("}\n");
+}
+
 }  // namespace
 
-int main() {
-  std::printf(
-      "Figure 5: time per cell vs cells per block (3D ideal MHD update)\n"
-      "fixed total budget ~48^3 cells, second-order MUSCL + ghost fill\n\n");
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
 
-  const std::vector<int> sizes = {2, 4, 6, 8, 12, 16, 24, 32};
-  std::vector<Sample> samples;
-  // 2x2x2 blocks carry a 27x ghost-allocation overhead; cap their budget to
-  // keep memory bounded. Everything else runs at ~48^3 cells.
-  for (int m : sizes) samples.push_back(time_block_size(m, m == 2 ? 32 : 48, 0));
-  const Sample padded12 = time_block_size(12, 48, 1);
+  IdealMhd<3> phys;
+  std::vector<tune::ProbeResult> results;
+  if (!json)
+    std::printf(
+        "Figure 5: time per cell vs cells per block (3D ideal MHD update)\n"
+        "fixed total budget ~48^3 cells, second-order MUSCL + ghost fill\n"
+        "(probe harness: src/tune/probe.hpp — what --autotune runs)\n\n");
+  for (const tune::ProbeCandidate& c : fig5_candidates())
+    results.push_back(
+        tune::run_probe<3, IdealMhd<3>>(c, fig5_budget(c.m), phys));
+
+  if (json) {
+    print_json(results);
+    return 0;
+  }
 
   double t16 = 0.0, t2 = 0.0;
-  for (const auto& s : samples) {
-    if (s.m == 16) t16 = s.ns_per_cell;
-    if (s.m == 2) t2 = s.ns_per_cell;
+  for (const tune::ProbeResult& r : results) {
+    if (r.cand == tune::ProbeCandidate{16, 0, 0}) t16 = r.ns_per_cell;
+    if (r.cand == tune::ProbeCandidate{2, 0, 0}) t2 = r.ns_per_cell;
   }
 
   Table t({"cells/block", "blocks", "total cells", "ns/cell",
            "rel. to 16^3"});
-  for (const auto& s : samples) {
-    t.add_row({std::string(std::to_string(s.m) + "^3"),
-               static_cast<long long>(s.blocks), s.cells, s.ns_per_cell,
-               s.ns_per_cell / t16});
+  for (const tune::ProbeResult& r : results) {
+    t.add_row({label_of(r.cand), static_cast<long long>(r.blocks), r.cells,
+               r.ns_per_cell, r.ns_per_cell / t16});
   }
-  t.add_row({std::string("12^3+pad"), static_cast<long long>(padded12.blocks),
-             padded12.cells, padded12.ns_per_cell,
-             padded12.ns_per_cell / t16});
-  const Sample sub32 = time_sub_blocked_32();
-  t.add_row({std::string("32^3 as 16^3 tiles"),
-             static_cast<long long>(sub32.blocks), sub32.cells,
-             sub32.ns_per_cell, sub32.ns_per_cell / t16});
   t.print(std::cout);
+
+  const tune::Selection sel = tune::select_layout(results, {}, 2, 0.03);
+  if (sel.ok)
+    std::printf("\nautotuner pick (3%% noise floor, simplest tie wins): %s "
+                "at %.1f ns/cell\n",
+                label_of(sel.best.cand).c_str(), sel.best.ns_per_cell);
 
   std::printf("\nspeedup of 16^3 blocks over 2x2x2 blocks: %.2fx "
               "(paper: \"more than a factor of 3\")\n",

@@ -27,13 +27,38 @@ if [ ! -x "$build_dir/bench/bench_kernels" ]; then
   cmake --build "$build_dir" --target bench_kernels -j > /dev/null
 fi
 
+# Refuse to record numbers from a non-Release build: -O0/-Og results are
+# noise that would silently poison committed baselines. Escape hatch for
+# deliberate experiments: AB_BENCH_ALLOW_NONRELEASE=1 warns and tags the
+# JSON instead (check_bench_regression.py rejects mixed-build comparisons).
+build_type="$(grep -E '^CMAKE_BUILD_TYPE:' "$build_dir/CMakeCache.txt" \
+  2>/dev/null | cut -d= -f2 || echo unknown)"
+if [ "$build_type" != "Release" ]; then
+  if [ "${AB_BENCH_ALLOW_NONRELEASE:-0}" = "1" ]; then
+    echo "WARNING: benchmarking a '$build_type' build" \
+         "(AB_BENCH_ALLOW_NONRELEASE=1); results are tagged and" \
+         "not comparable to Release baselines" >&2
+  else
+    echo "ERROR: $build_dir is a '$build_type' build, not Release." >&2
+    echo "Benchmark numbers from unoptimized builds are meaningless;" >&2
+    echo "rebuild with -DCMAKE_BUILD_TYPE=Release (the default) or set" >&2
+    echo "AB_BENCH_ALLOW_NONRELEASE=1 to record tagged numbers anyway." >&2
+    exit 1
+  fi
+fi
+
 if [ ! -x "$build_dir/bench/abl_regrid_churn" ]; then
   cmake --build "$build_dir" --target abl_regrid_churn -j > /dev/null
 fi
 
+if [ ! -x "$build_dir/bench/fig5_block_size" ]; then
+  cmake --build "$build_dir" --target fig5_block_size -j > /dev/null
+fi
+
 raw="$(mktemp)"
 churn_raw="$(mktemp)"
-trap 'rm -f "$raw" "$churn_raw"' EXIT
+fig5_raw="$(mktemp)"
+trap 'rm -f "$raw" "$churn_raw" "$fig5_raw"' EXIT
 "$build_dir/bench/bench_kernels" --benchmark_format=json "$@" > "$raw"
 # Regrid-churn storm, pooled (Arg 1) vs malloc (Arg 0) block substrate.
 # Runs need >= ~10 iterations for the malloc side to reach its
@@ -42,6 +67,9 @@ trap 'rm -f "$raw" "$churn_raw"' EXIT
 "$build_dir/bench/abl_regrid_churn" --benchmark_format=json \
   --benchmark_min_time=1 --benchmark_repetitions=3 \
   --benchmark_report_aggregates_only=true > "$churn_raw"
+# Figure-5 block-size curve via the autotuner's probe harness, plus the
+# layout the tuner would pick on this host.
+"$build_dir/bench/fig5_block_size" --json > "$fig5_raw"
 
 # Host metadata stamped into both output files.
 compiler="$(c++ --version 2>/dev/null | head -1 || echo unknown)"
@@ -58,18 +86,21 @@ out="$repo_root/BENCH_kernels.json"
 solver_out="$repo_root/BENCH_solver.json"
 AB_BENCH_COMPILER="$compiler" AB_BENCH_NATIVE_ARCH="$native_arch" \
 AB_BENCH_CXX_FLAGS="$cxx_flags" AB_BENCH_GIT_SHA="$git_sha" \
-AB_BENCH_NPROC="$ncpu" \
+AB_BENCH_NPROC="$ncpu" AB_BENCH_BUILD_TYPE="$build_type" \
 python3 - "$raw" "$seed" "$out" "$solver_out" "$churn_raw" "$churn_seed" \
-  <<'EOF'
+  "$fig5_raw" <<'EOF'
 import json, os, sys
 
-raw_path, seed_path, out_path, solver_path, churn_path, churn_seed_path = \
-    sys.argv[1:7]
+(raw_path, seed_path, out_path, solver_path, churn_path, churn_seed_path,
+ fig5_path) = sys.argv[1:8]
 after = json.load(open(raw_path))
 host = {
     "compiler": os.environ.get("AB_BENCH_COMPILER", "unknown"),
     "native_arch": os.environ.get("AB_BENCH_NATIVE_ARCH", "unknown"),
     "cxx_flags_release": os.environ.get("AB_BENCH_CXX_FLAGS", ""),
+    # Our CMAKE_BUILD_TYPE — not google-benchmark's library_build_type,
+    # which describes the system benchmark library, not this code.
+    "build_type": os.environ.get("AB_BENCH_BUILD_TYPE", "unknown"),
     "nproc": os.environ.get("AB_BENCH_NPROC", "unknown"),
     "git_sha": os.environ.get("AB_BENCH_GIT_SHA", "unknown"),
 }
@@ -146,8 +177,26 @@ except OSError:
     pass
 solver_doc["regrid_churn"] = churn_doc
 
+# Figure-5 block-size curve (src/tune/probe.hpp measurements) and the
+# autotuner's pick on this host — the numbers docs/PERFORMANCE.md
+# "Autotuned layout" quotes.
+fig5 = json.load(open(fig5_path))
+solver_doc["fig5"] = fig5
+
 json.dump(solver_doc, open(solver_path, "w"), indent=1)
 print(f"wrote {solver_path} ({len(solver)} BM_SolverStep entries)")
 for name, ratio in churn_doc["pool_speedup"].items():
     print(f"  {name}: pooled {ratio:.2f}x vs malloc")
+chosen = fig5.get("chosen")
+if chosen:
+    label = f"{chosen['m']}^3"
+    if chosen.get("pad0"):
+        label += "+pad"
+    if chosen.get("sub_block"):
+        label += f" as {chosen['sub_block']}^3 tiles"
+    base = next((c["ns_per_cell"] for c in fig5.get("curve", [])
+                 if (c["m"], c["pad0"], c["sub_block"]) == (8, 0, 0)), None)
+    vs = f" ({base / chosen['ns_per_cell']:.2f}x vs 8^3)" if base else ""
+    print(f"  fig5 autotuner pick: {label} at "
+          f"{chosen['ns_per_cell']:.1f} ns/cell{vs}")
 EOF

@@ -6,13 +6,16 @@
 // conservation through the ConservationLedger, and monitors the Powell
 // scheme's div(B) error.
 //
-//   ./orszag_tang [steps=80] [--trace=FILE] [--report=FILE]
+//   ./orszag_tang [steps=80] [--trace=FILE] [--report=FILE] [--autotune]
 //
 // --trace=FILE   collect phase/task spans and write a Chrome trace_event
 //                JSON file (open in chrome://tracing or Perfetto).
 // --report=FILE  append one JSON line per step (phase wall times, work
 //                counts, conservation-drift and div(B) gauges); see
 //                docs/OBSERVABILITY.md and tools/trace_summary.py.
+// --autotune     probe block layouts at startup and run with the fastest
+//                one (cached in .ab_tune.json; see docs/PERFORMANCE.md
+//                "Autotuned layout" and the AB_AUTOTUNE env knob).
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -29,12 +32,15 @@ using namespace ab;
 
 int main(int argc, char** argv) {
   int steps = 80;
+  bool autotune = false;
   std::string trace_path, report_path;
   for (int a = 1; a < argc; ++a) {
     if (std::strncmp(argv[a], "--trace=", 8) == 0)
       trace_path = argv[a] + 8;
     else if (std::strncmp(argv[a], "--report=", 9) == 0)
       report_path = argv[a] + 9;
+    else if (std::strcmp(argv[a], "--autotune") == 0)
+      autotune = true;
     else
       steps = std::atoi(argv[a]);
   }
@@ -50,6 +56,7 @@ int main(int argc, char** argv) {
   cfg.apply_positivity_fix = true;
   cfg.flux = FluxScheme::Hlld;  // five-wave MHD Riemann solver
   cfg.flux_correction = true;  // machine-exact conservation
+  cfg.autotune = autotune;     // AB_AUTOTUNE=0/1 still overrides
 
   obs::Telemetry tel;
   const bool observe = !trace_path.empty() || !report_path.empty();
@@ -60,6 +67,24 @@ int main(int argc, char** argv) {
   }
   if (observe) cfg.telemetry = &tel;
   AmrSolver<2, IdealMhd<2>> solver(cfg, phys);
+
+  const tune::TuneDecision& dec = solver.tune_decision();
+  if (dec.enabled) {
+    if (dec.tuned)
+      std::printf(
+          "autotune: %s blocks%s%s at %.1f ns/cell (%s%s), baseline 8^2 "
+          "pad0 at %.1f ns/cell\n",
+          (std::to_string(dec.chosen.m) + "x" + std::to_string(dec.chosen.m))
+              .c_str(),
+          dec.chosen.pad0 > 0 ? " +pad" : "",
+          dec.chosen.sub_block > 0
+              ? (" /sub" + std::to_string(dec.chosen.sub_block)).c_str()
+              : "",
+          dec.ns_per_cell, dec.from_cache ? "cached: " : "probed: ",
+          dec.cache_path.c_str(), dec.baseline_ns_per_cell);
+    else
+      std::printf("autotune: no applicable candidate; keeping defaults\n");
+  }
 
   // Classic Orszag-Tang setup on [0,1]^2 (units with mu0 = 1):
   //   rho = 25/(36 pi), p = 5/(12 pi),

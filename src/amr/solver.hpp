@@ -37,6 +37,7 @@
 #include "io/checkpoint.hpp"
 #include "obs/telemetry.hpp"
 #include "physics/kernel.hpp"
+#include "tune/autotuner.hpp"
 #include "util/aligned.hpp"
 #include "util/block_pool.hpp"
 #include "util/error.hpp"
@@ -95,10 +96,34 @@ class AmrSolver {
     /// Env override: AB_TASK_STEAL=1 selects WorkStealing, =0 SharedRing.
     /// Either way results are bitwise identical; see TaskGraph::Mode.
     TaskGraph::Mode task_graph_mode = TaskGraph::Mode::SharedRing;
+    /// Runtime block-layout autotuning (the paper's Fig. 5 effect): probe
+    /// candidate (block edge, pad, sub-blocking) layouts at construction
+    /// and rewrite cells_per_block / root_blocks / pad0 / sub_block to the
+    /// fastest applicable one, keeping the global grid invariant. The probe
+    /// table persists at `tune_cache`, so only the first run pays for
+    /// probing. Env override: AB_AUTOTUNE=1/0 (same A/B family as
+    /// AB_BLOCK_POOL / AB_TASK_STEAL). See src/tune/ and
+    /// docs/PERFORMANCE.md "Autotuned layout".
+    bool autotune = false;
+    /// Probe-table cache path (host-keyed JSON; see tune/cache.hpp).
+    std::string tune_cache = ".ab_tune.json";
+    /// Candidates within this fraction of the fastest probe tie, and the
+    /// simplest tied layout (no pad, no sub-blocking, smallest m) wins.
+    double tune_noise_floor = 0.03;
+    /// Probe measurement effort (tests shrink it to milliseconds).
+    tune::ProbeBudget tune_budget{};
+    /// Extra dim-0 cells in the block allocation, breaking cache-line
+    /// aliasing between adjacent pencils. Bitwise-invisible to results;
+    /// normally set by the autotuner, settable directly for experiments.
+    int pad0 = 0;
+    /// Sub-blocked interior tiling edge for pencil-sweep updates (0 = whole
+    /// block). Bitwise-invisible; normally set by the autotuner.
+    int sub_block = 0;
   };
 
   AmrSolver(Config cfg, Phys phys)
-      : cfg_(std::move(cfg)),
+      : cfg_(tune::resolve_layout<D, Phys>(std::move(cfg), phys,
+                                           &tune_decision_)),
         phys_(std::move(phys)),
         forest_(cfg_.forest),
         block_pool_(make_block_pool(cfg_)),
@@ -145,6 +170,9 @@ class AmrSolver {
   /// The task-graph drain strategy in effect (config + env override).
   TaskGraph::Mode task_graph_mode() const { return task_mode_; }
   const GhostExchanger<D>& exchanger() const { return exchanger_; }
+  /// What the layout autotuner decided at construction (enabled == false
+  /// when tuning was off — the config was left untouched).
+  const tune::TuneDecision& tune_decision() const { return tune_decision_; }
   const Config& config() const { return cfg_; }
   const Phys& physics() const { return phys_; }
   double time() const { return time_; }
@@ -297,9 +325,9 @@ class AmrSolver {
       AlignedBuffer tmp(static_cast<std::size_t>(lay.block_doubles()));
       for (int id : forest_.leaves()) {
         const RVec<D> dx = cell_dx(forest_.level(id));
-        flop_counter_.add(fv_block_update<D, Phys>(
-            lay, scratch_.view(id).base, tmp.data(), phys_, dx, dt,
-            cfg_.order, cfg_.limiter, cfg_.flux, nullptr, nullptr,
+        flop_counter_.add(fv_block_update_tiled<D, Phys>(
+            cfg_.sub_block, lay, scratch_.view(id).base, tmp.data(), phys_,
+            dx, dt, cfg_.order, cfg_.limiter, cfg_.flux, nullptr, nullptr,
             &kernel_scratch_[0]));
         combine_half(store_.view(id),
                      ConstBlockView<D>{tmp.data(), &lay});
@@ -576,10 +604,10 @@ class AmrSolver {
       obs::PhaseScope ps(cfg_.telemetry, "stage_update");
       const RVec<D> dx = cell_dx(l);
       for (int id : level_leaves_[l]) {
-        flop_counter_.add(fv_block_update<D, Phys>(
-            lay, store_.view(id).base, scratch_.view(id).base, phys_, dx, dt,
-            cfg_.order, cfg_.limiter, cfg_.flux, nullptr, nullptr,
-            &kernel_scratch_[0]));
+        flop_counter_.add(fv_block_update_tiled<D, Phys>(
+            cfg_.sub_block, lay, store_.view(id).base, scratch_.view(id).base,
+            phys_, dx, dt, cfg_.order, cfg_.limiter, cfg_.flux, nullptr,
+            nullptr, &kernel_scratch_[0]));
         // Swap: store_ takes the new state; scratch_ keeps the old one
         // (with its freshly filled ghosts) for finer-level interpolation.
         store_.swap_block(scratch_, id);
@@ -651,11 +679,13 @@ class AmrSolver {
   void update_block(BlockStore<D>& in, BlockStore<D>& out, int id,
                     const RVec<D>& dx, double dt, FaceFluxStorage<D>* ff,
                     const Box<D>* sub) {
-    fv_block_update<D, Phys>(store_.layout(), in.view(id).base,
-                             out.view(id).base, phys_, dx, dt, cfg_.order,
-                             cfg_.limiter, cfg_.flux, ff, sub,
-                             &kernel_scratch_[static_cast<std::size_t>(
-                                 ThreadPool::this_thread_index())]);
+    // Tiling applies only to whole-block calls (ff == nullptr, sub ==
+    // nullptr); the wrapper falls through to the plain kernel otherwise.
+    fv_block_update_tiled<D, Phys>(
+        cfg_.sub_block, store_.layout(), in.view(id).base, out.view(id).base,
+        phys_, dx, dt, cfg_.order, cfg_.limiter, cfg_.flux, ff, sub,
+        &kernel_scratch_[static_cast<std::size_t>(
+            ThreadPool::this_thread_index())]);
   }
 
   /// Interior/rim overlap needs at least two hardware threads: with one
@@ -934,9 +964,9 @@ class AmrSolver {
               ? &flux_register_.storage(id)
               : nullptr;
       flops.fetch_add(
-          fv_block_update<D, Phys>(
-              lay, in.view(id).base, out.view(id).base, phys_, dx, dt,
-              cfg_.order, cfg_.limiter, cfg_.flux, ff, nullptr,
+          fv_block_update_tiled<D, Phys>(
+              cfg_.sub_block, lay, in.view(id).base, out.view(id).base, phys_,
+              dx, dt, cfg_.order, cfg_.limiter, cfg_.flux, ff, nullptr,
               &kernel_scratch_[static_cast<std::size_t>(
                   ThreadPool::this_thread_index())]),
           std::memory_order_relaxed);
@@ -1020,6 +1050,7 @@ class AmrSolver {
       pool_reuse_seen_ = ps.reuse_hits;
       pool_fresh_seen_ = ps.fresh_allocs;
     }
+    publish_tune_gauges(m, tune_decision_);
     m.histogram("solver.step_wall_s",
                 {1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0})
         ->record(wall);
@@ -1034,6 +1065,7 @@ class AmrSolver {
           static_cast<std::int64_t>(updates) * store_.layout().interior_cells();
       r.refined = pending_refined_;
       r.coarsened = pending_coarsened_;
+      r.layout = layout_string(store_.layout(), cfg_.sub_block);
       r.ghost_copy_ops = ghost_ops_step_[0];
       r.ghost_restrict_ops = ghost_ops_step_[1];
       r.ghost_prolong_ops = ghost_ops_step_[2];
@@ -1057,7 +1089,8 @@ class AmrSolver {
   // Storage/scheduling substrate knobs (config + env A/B overrides).
 
   static BlockLayout<D> make_layout(const Config& cfg) {
-    return BlockLayout<D>(cfg.cells_per_block, cfg.ghost, Phys::NVAR);
+    return BlockLayout<D>(cfg.cells_per_block, cfg.ghost, Phys::NVAR,
+                          cfg.pad0);
   }
 
   /// One slab arena per solver, shared by every store the stepper swaps
@@ -1089,6 +1122,8 @@ class AmrSolver {
     return m;
   }
 
+  // Declared before cfg_ so cfg_'s initializer (the autotuner) can fill it.
+  tune::TuneDecision tune_decision_;
   Config cfg_;
   Phys phys_;
   Forest<D> forest_;

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -84,7 +85,27 @@ struct BlockLayout {
     return a.interior == b.interior && a.ghost == b.ghost &&
            a.nvar == b.nvar && a.pad0 == b.pad0;
   }
+
+  /// Human/report shorthand: "8x8x8", "12x12x12+pad1", ...
+  std::string describe() const {
+    std::string s;
+    for (int d = 0; d < D; ++d) {
+      if (d > 0) s += "x";
+      s += std::to_string(interior[d]);
+    }
+    if (pad0 > 0) s += "+pad" + std::to_string(pad0);
+    return s;
+  }
 };
+
+/// Layout shorthand including the solver's sub-blocked tiling edge:
+/// "32x32x32/sub16" means 32^3 blocks swept as 16^3 tiles.
+template <int D>
+std::string layout_string(const BlockLayout<D>& lay, int sub_block = 0) {
+  std::string s = lay.describe();
+  if (sub_block > 0) s += "/sub" + std::to_string(sub_block);
+  return s;
+}
 
 /// Mutable view of one block's fields: base pointer + layout. Cheap to copy;
 /// does not own.

@@ -84,6 +84,11 @@ std::string json_line(const StepReport& r) {
   append_int(out, r.blocks);
   out += ",\"cells_updated\":";
   append_int(out, r.cells_updated);
+  if (!r.layout.empty()) {
+    out += ",\"layout\":\"";
+    append_escaped(out, r.layout);
+    out += "\"";
+  }
   out += ",\"refined\":";
   append_int(out, r.refined);
   out += ",\"coarsened\":";

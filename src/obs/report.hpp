@@ -35,6 +35,10 @@ struct StepReport {
   double wall_s = 0.0;     ///< measured wall time of step() itself
   std::int64_t blocks = 0;
   std::int64_t cells_updated = 0;  ///< interior cells x kernel invocations
+  /// Block-layout shorthand ("8x8x8", "12x12x12+pad1", "32x32x32/sub16").
+  /// Serialized only when non-empty, so records from solvers that predate
+  /// the field are byte-identical to before.
+  std::string layout;
   int refined = 0;         ///< refine events since the previous record
   int coarsened = 0;
   std::int64_t ghost_copy_ops = 0;      ///< same-level copies this step

@@ -79,10 +79,11 @@ class RankSolver {
   };
 
   RankSolver(Config cfg, Phys phys)
-      : cfg_(std::move(cfg)),
+      : cfg_(resolve_cfg(std::move(cfg), phys, &tune_decision_)),
         phys_(std::move(phys)),
         forest_(cfg_.solver.forest),
-        layout_(cfg_.solver.cells_per_block, cfg_.solver.ghost, Phys::NVAR),
+        layout_(cfg_.solver.cells_per_block, cfg_.solver.ghost, Phys::NVAR,
+                cfg_.solver.pad0),
         block_pool_(make_block_pool(cfg_.solver, layout_)),
         exchanger_(forest_, layout_, cfg_.solver.prolongation),
         owner_(partition_blocks<D>(forest_, cfg_.npes, cfg_.policy)),
@@ -133,6 +134,8 @@ class RankSolver {
   Forest<D>& forest() { return forest_; }
   const Forest<D>& forest() const { return forest_; }
   const Config& config() const { return cfg_; }
+  /// What the layout autotuner decided at construction.
+  const tune::TuneDecision& tune_decision() const { return tune_decision_; }
   const Phys& physics() const { return phys_; }
   double time() const { return time_; }
   std::uint64_t total_flops() const { return flops_; }
@@ -254,9 +257,10 @@ class RankSolver {
       for (int id : forest_.leaves()) {
         const int pe = owner_at(id);
         const RVec<D> dx = cell_dx(forest_.level(id));
-        const std::uint64_t f = fv_block_update<D, Phys>(
-            layout_, scratch_[static_cast<std::size_t>(pe)].view(id).base,
-            tmp.data(), phys_, dx, dt, cfg_.solver.order, cfg_.solver.limiter,
+        const std::uint64_t f = fv_block_update_tiled<D, Phys>(
+            cfg_.solver.sub_block, layout_,
+            scratch_[static_cast<std::size_t>(pe)].view(id).base, tmp.data(),
+            phys_, dx, dt, cfg_.solver.order, cfg_.solver.limiter,
             cfg_.solver.flux, nullptr, nullptr, &kernel_scratch_);
         flops_ += f;
         rank_flops_[static_cast<std::size_t>(pe)] += f;
@@ -628,8 +632,9 @@ class RankSolver {
       FluxRegister<D>& reg = registers_[static_cast<std::size_t>(pe)];
       FaceFluxStorage<D>* ff =
           (fc && reg.needs_fluxes(id)) ? &reg.storage(id) : nullptr;
-      const std::uint64_t f = fv_block_update<D, Phys>(
-          layout_, in[static_cast<std::size_t>(pe)].view(id).base,
+      const std::uint64_t f = fv_block_update_tiled<D, Phys>(
+          cfg_.solver.sub_block, layout_,
+          in[static_cast<std::size_t>(pe)].view(id).base,
           out[static_cast<std::size_t>(pe)].view(id).base, phys_, dx, dt,
           cfg_.solver.order, cfg_.solver.limiter, cfg_.solver.flux, ff,
           nullptr, &kernel_scratch_);
@@ -738,6 +743,7 @@ class RankSolver {
       pool_reuse_seen_ = ps.reuse_hits;
       pool_fresh_seen_ = ps.fresh_allocs;
     }
+    publish_tune_gauges(m, tune_decision_);
     if (cfg_.faults != nullptr) {
       // The plan's stats are run totals; counters take per-step deltas.
       const FaultStats& fs = cfg_.faults->stats();
@@ -763,6 +769,7 @@ class RankSolver {
       r.cells_updated =
           static_cast<std::int64_t>(block_updates_ - updates0) *
           layout_.interior_cells();
+      r.layout = layout_string(layout_, cfg_.solver.sub_block);
       r.phase_s = tel->take_phase_times();
       const obs::MetricsSnapshot snap = m.snapshot();
       r.gauges = snap.gauges;
@@ -803,6 +810,16 @@ class RankSolver {
                                   : BlockStore<D>(layout_);
   }
 
+  /// Run the layout autotuner over the embedded solver config before any
+  /// layout-derived member is built (see AmrSolver::Config::autotune).
+  static Config resolve_cfg(Config cfg, const Phys& phys,
+                            tune::TuneDecision* dec) {
+    cfg.solver = tune::resolve_layout<D, Phys>(std::move(cfg.solver), phys, dec);
+    return cfg;
+  }
+
+  // Declared before cfg_ so cfg_'s initializer (the autotuner) can fill it.
+  tune::TuneDecision tune_decision_;
   Config cfg_;
   Phys phys_;
   Forest<D> forest_;

@@ -1,0 +1,58 @@
+// Non-template autotuner pieces: env resolution and candidate selection.
+#include "tune/autotuner.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <tuple>
+
+namespace ab::tune {
+
+bool autotune_enabled(bool cfg_flag) {
+  bool use = cfg_flag;
+  if (const char* e = std::getenv("AB_AUTOTUNE")) use = e[0] != '0';
+  return use;
+}
+
+namespace {
+
+bool applicable(const ProbeCandidate& c,
+                const std::vector<std::int64_t>& global_cells, int ghost) {
+  if (c.m <= 0 || ghost > c.m) return false;
+  for (std::int64_t g : global_cells)
+    if (g % c.m != 0) return false;
+  return true;
+}
+
+/// Tie-break order inside the noise floor: prefer no padding, then no
+/// sub-blocking, then the smallest block — the plainest layout that is
+/// statistically as fast.
+std::tuple<int, int, int> simplicity(const ProbeCandidate& c) {
+  return {c.pad0, c.sub_block, c.m};
+}
+
+}  // namespace
+
+Selection select_layout(const std::vector<ProbeResult>& table,
+                        const std::vector<std::int64_t>& global_cells,
+                        int ghost, double noise_floor) {
+  Selection sel;
+  double best_ns = std::numeric_limits<double>::infinity();
+  for (const ProbeResult& r : table)
+    if (applicable(r.cand, global_cells, ghost) && r.ns_per_cell > 0.0)
+      best_ns = std::min(best_ns, r.ns_per_cell);
+  if (!std::isfinite(best_ns)) return sel;
+  const double cutoff = best_ns * (1.0 + std::max(0.0, noise_floor));
+  for (const ProbeResult& r : table) {
+    if (!applicable(r.cand, global_cells, ghost) || !(r.ns_per_cell > 0.0) ||
+        r.ns_per_cell > cutoff)
+      continue;
+    if (!sel.ok || simplicity(r.cand) < simplicity(sel.best.cand)) {
+      sel.ok = true;
+      sel.best = r;
+    }
+  }
+  return sel;
+}
+
+}  // namespace ab::tune

@@ -1,0 +1,25 @@
+// Non-template pieces of the probe harness.
+#include "tune/probe.hpp"
+
+namespace ab::tune {
+
+std::vector<ProbeCandidate> default_candidates() {
+  // The ISSUE-7 minimum sweep: m in {8, 12, 16, 24, 32} x pad in {0, 1},
+  // sub-blocking on/off for the large sizes (half-edge tiles, the paper's
+  // "32^3 as 16^3" fix). 14 candidates total.
+  std::vector<ProbeCandidate> cs;
+  for (int m : {8, 12, 16, 24, 32})
+    for (int pad : {0, 1}) cs.push_back({m, pad, 0});
+  for (int m : {24, 32})
+    for (int pad : {0, 1}) cs.push_back({m, pad, m / 2});
+  return cs;
+}
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+}  // namespace ab::tune

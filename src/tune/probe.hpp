@@ -1,0 +1,174 @@
+// Probe harness for the block-layout autotuner: time ghost exchange plus a
+// second-order stage update for one candidate BlockLayout on a small
+// synthetic periodic forest, using the real physics kernels.
+//
+// This is the machinery behind Figure 5 (bench/fig5_block_size.cpp runs the
+// same probes to draw the curve): the paper measured time/cell varying by
+// more than 3x with block size, with cache-alias maxima at 12^3 (removed by
+// padding) and 32^3 (removed by sub-blocking into 16^3). run_probe measures
+// exactly that quantity for a (m, pad0, sub_block) candidate so the
+// autotuner (tune/autotuner.hpp) can pick the fastest layout on the actual
+// host at startup.
+//
+// Timing discipline: one warm-up sweep (faults pages, fills caches), then
+// the repetition count is calibrated until a batch reaches
+// ProbeBudget::min_seconds, then `repetitions` batches are timed and the
+// median per-sweep time is kept — the noise floor the selection logic
+// applies on top lives in the autotuner.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/block_store.hpp"
+#include "core/forest.hpp"
+#include "core/ghost.hpp"
+#include "physics/kernel.hpp"
+#include "util/timer.hpp"
+#include "util/vec.hpp"
+
+namespace ab::tune {
+
+/// One layout candidate: cubic blocks of edge `m`, `pad0` extra dim-0
+/// cells, and sub-blocked loop tiling into `sub_block`-edge tiles
+/// (0 = no tiling).
+struct ProbeCandidate {
+  int m = 8;
+  int pad0 = 0;
+  int sub_block = 0;
+
+  friend bool operator==(const ProbeCandidate& a, const ProbeCandidate& b) {
+    return a.m == b.m && a.pad0 == b.pad0 && a.sub_block == b.sub_block;
+  }
+};
+
+/// Measured cost of one candidate.
+struct ProbeResult {
+  ProbeCandidate cand{};
+  double ns_per_cell = 0.0;  ///< median over ProbeBudget::repetitions
+  int blocks = 0;            ///< leaves in the synthetic forest
+  long long cells = 0;       ///< total interior cells timed per sweep
+  int reps = 0;              ///< sweeps per timed batch after calibration
+};
+
+/// Measurement effort. The defaults suit a startup probe (~0.1 s per
+/// candidate batch, 3 batches); tests shrink min_seconds/repetitions to
+/// exercise the path in milliseconds.
+struct ProbeBudget {
+  double min_seconds = 0.1;  ///< calibrate reps until a batch takes this
+  int repetitions = 3;       ///< timed batches; the median is kept
+  int budget_edge = 0;       ///< total-cell budget edge (0: 48 in 3D, 256 else)
+  int max_reps = 1 << 14;    ///< calibration cap
+};
+
+/// The autotuner's default sweep: m in {8, 12, 16, 24, 32} x pad in {0, 1},
+/// plus sub-blocking into half-edge tiles for the large sizes (24, 32).
+std::vector<ProbeCandidate> default_candidates();
+
+/// Median of `v` (by value; not required sorted). Empty -> 0.
+double median(std::vector<double> v);
+
+namespace detail {
+
+/// Smooth spatially varying state so slopes/limiters do real work. Uses the
+/// physics' own primitive constructor when it has one (MHD-style with a
+/// field vector, else Euler-style), falling back to a smooth scalar for
+/// bare advection-like physics.
+template <int D, class Phys>
+typename Phys::State smooth_state(const Phys& phys, const RVec<D>& x) {
+  const double s = std::sin(2.0 * M_PI * x[0]) * 0.1;
+  if constexpr (requires {
+                  phys.from_primitive(1.0, RVec<3>{}, RVec<3>{}, 1.0);
+                }) {
+    return phys.from_primitive(1.0 + s, {0.5, 0.1, -0.2}, {0.2, 0.3 + s, 0.1},
+                               1.0 + 0.5 * s);
+  } else if constexpr (requires { phys.from_primitive(1.0, RVec<D>{}, 1.0); }) {
+    RVec<D> vel{};
+    for (int d = 0; d < D; ++d) vel[d] = 0.1 * (d + 1);
+    return phys.from_primitive(1.0 + s, vel, 1.0 + 0.5 * s);
+  } else {
+    typename Phys::State u{};
+    for (int v = 0; v < Phys::NVAR; ++v) u[v] = 1.0 + s;
+    return u;
+  }
+}
+
+}  // namespace detail
+
+/// Time (ghost fill + second-order stage update) per cell for `cand` on a
+/// uniform periodic forest of ~budget_edge^D total cells. Uses the same
+/// kernels, exchanger, and sub-blocked tiling the solvers run, so the
+/// measured ns/cell is the quantity the step actually pays.
+template <int D, class Phys>
+ProbeResult run_probe(const ProbeCandidate& cand, const ProbeBudget& budget,
+                      const Phys& phys) {
+  const int edge =
+      budget.budget_edge > 0 ? budget.budget_edge : (D == 3 ? 48 : 256);
+  const int root = std::max(1, edge / cand.m);
+  typename Forest<D>::Config fc;
+  fc.root_blocks = IVec<D>(root);
+  for (int d = 0; d < D; ++d) fc.periodic[d] = true;
+  Forest<D> forest(fc);
+
+  BlockLayout<D> lay(IVec<D>(cand.m), 2, Phys::NVAR, cand.pad0);
+  BlockStore<D> store(lay), out(lay);
+  RVec<D> dx = forest.block_size(0);
+  for (int d = 0; d < D; ++d) dx[d] /= cand.m;
+  for (int id : forest.leaves()) {
+    store.ensure(id);
+    out.ensure(id);
+    BlockView<D> v = store.view(id);
+    const RVec<D> lo = forest.block_lo(id);
+    for_each_cell<D>(lay.interior_box(), [&](IVec<D> p) {
+      RVec<D> x;
+      for (int d = 0; d < D; ++d) x[d] = lo[d] + (p[d] + 0.5) * dx[d];
+      const typename Phys::State u = detail::smooth_state<D>(phys, x);
+      for (int k = 0; k < Phys::NVAR; ++k) v.at(k, p) = u[k];
+    });
+  }
+  GhostExchanger<D> gx(forest, lay);
+
+  ProbeResult res;
+  res.cand = cand;
+  res.blocks = forest.num_leaves();
+  res.cells = static_cast<long long>(res.blocks) * lay.interior_cells();
+
+  FlopCounter flops;  // keeps the probe honest about running real kernels
+  auto sweep = [&] {
+    gx.fill(store);
+    for (int id : forest.leaves()) {
+      flops.add(fv_block_update_tiled<D, Phys>(
+          cand.sub_block, lay, store.view(id).base, out.view(id).base, phys,
+          dx, 1e-4, SpatialOrder::Second, LimiterKind::VanLeer));
+    }
+  };
+  sweep();  // warm-up: faults pages, fills caches
+
+  // Calibrate the batch size, then time `repetitions` batches.
+  int reps = 1;
+  double secs = 0.0;
+  for (;;) {
+    Timer t;
+    for (int r = 0; r < reps; ++r) sweep();
+    secs = t.seconds();
+    if (secs >= budget.min_seconds || reps >= budget.max_reps) break;
+    reps = std::max(reps + 1,
+                    static_cast<int>(reps * 1.2 * budget.min_seconds /
+                                     std::max(secs, 1e-9)));
+    reps = std::min(reps, budget.max_reps);
+  }
+  std::vector<double> batch_secs;
+  batch_secs.push_back(secs / reps);  // the calibration batch is batch one
+  for (int k = 1; k < budget.repetitions; ++k) {
+    Timer t;
+    for (int r = 0; r < reps; ++r) sweep();
+    batch_secs.push_back(t.seconds() / reps);
+  }
+  res.reps = reps;
+  res.ns_per_cell =
+      median(std::move(batch_secs)) / static_cast<double>(res.cells) * 1e9;
+  return res;
+}
+
+}  // namespace ab::tune

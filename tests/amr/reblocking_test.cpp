@@ -1,0 +1,164 @@
+// Layout invariance contracts behind the autotuner: re-blocking the same
+// uniform global grid (8^2 vs 16^2 vs 32^2 blocks), dim-0 padding, and
+// sub-blocked tiling must all leave the evolved fields bitwise identical —
+// the tuner is free to pick any layout without changing a single bit of the
+// answer.
+//
+// Cell centers are dyadic-exact here ([0,1]^2 domain, power-of-two grids),
+// so identical initial bytes across block decompositions are guaranteed by
+// construction, not by luck.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "amr/solver.hpp"
+#include "physics/euler.hpp"
+#include "physics/mhd.hpp"
+
+namespace ab {
+namespace {
+
+constexpr int kGlobal = 32;  // global cells per dimension
+constexpr double kDt = 1e-3;
+
+/// Evolve a uniform periodic 32^2 grid decomposed into m^2 blocks and
+/// return the fields indexed by global cell, independent of decomposition.
+template <class Phys, class Ic>
+std::vector<double> run_uniform(Phys phys, const Ic& ic, int m, int pad,
+                                int sub, int steps) {
+  typename AmrSolver<2, Phys>::Config cfg;
+  cfg.forest.root_blocks = IVec<2>(kGlobal / m);
+  cfg.forest.periodic = {true, true};
+  cfg.forest.max_level = 0;
+  cfg.cells_per_block = IVec<2>(m);
+  cfg.pad0 = pad;
+  cfg.sub_block = sub;
+  AmrSolver<2, Phys> solver(cfg, phys);
+  solver.init(ic);
+  for (int i = 0; i < steps; ++i) solver.step(kDt);
+
+  const double gdx = 1.0 / kGlobal;
+  std::vector<double> out(
+      static_cast<std::size_t>(kGlobal) * kGlobal * Phys::NVAR, 0.0);
+  for (int id : solver.forest().leaves()) {
+    ConstBlockView<2> v = solver.store().view(id);
+    const RVec<2> lo = solver.forest().block_lo(id);
+    const int i0 = static_cast<int>(std::lround(lo[0] / gdx));
+    const int j0 = static_cast<int>(std::lround(lo[1] / gdx));
+    for_each_cell<2>(solver.store().layout().interior_box(), [&](IVec<2> p) {
+      const std::size_t cell = static_cast<std::size_t>(j0 + p[1]) * kGlobal +
+                               static_cast<std::size_t>(i0 + p[0]);
+      for (int k = 0; k < Phys::NVAR; ++k)
+        out[cell * Phys::NVAR + static_cast<std::size_t>(k)] = v.at(k, p);
+    });
+  }
+  return out;
+}
+
+/// Adaptive run (regridding every few steps) for the pad/sub-blocking
+/// invisibility checks: identical values => identical refinement decisions,
+/// so per-leaf comparison in leaves() order is well defined.
+template <class Phys, class Ic>
+std::vector<double> run_adaptive(Phys phys, const Ic& ic, int m, int pad,
+                                 int sub) {
+  typename AmrSolver<2, Phys>::Config cfg;
+  cfg.forest.root_blocks = {2, 2};
+  cfg.forest.periodic = {true, true};
+  cfg.forest.max_level = 2;
+  cfg.cells_per_block = IVec<2>(m);
+  cfg.pad0 = pad;
+  cfg.sub_block = sub;
+  cfg.flux_correction = true;
+  AmrSolver<2, Phys> solver(cfg, phys);
+  solver.init(ic);
+  GradientCriterion<2> crit{0, 0.05, 0.01, 2};
+  solver.adapt(crit);
+  solver.init(ic);
+  std::vector<double> out;
+  for (int i = 0; i < 6; ++i) {
+    solver.step(solver.compute_dt());
+    if (i % 3 == 2) solver.adapt(crit);
+  }
+  for (int id : solver.forest().leaves()) {
+    ConstBlockView<2> v = solver.store().view(id);
+    out.push_back(static_cast<double>(solver.forest().level(id)));
+    for_each_cell<2>(solver.store().layout().interior_box(), [&](IVec<2> p) {
+      for (int k = 0; k < Phys::NVAR; ++k) out.push_back(v.at(k, p));
+    });
+  }
+  return out;
+}
+
+void expect_bitwise(const std::vector<double>& a,
+                    const std::vector<double>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(a[i], b[i]) << what << " element " << i;
+}
+
+Euler<2> euler;
+auto euler_ic = [](const RVec<2>& x, Euler<2>::State& s) {
+  const double dx = x[0] - 0.5, dy = x[1] - 0.5;
+  s = euler.from_primitive(1.0 + 0.8 * std::exp(-40 * (dx * dx + dy * dy)),
+                           {0.4, -0.3}, 1.0);
+};
+
+IdealMhd<2> mhd;
+auto mhd_ic = [](const RVec<2>& x, IdealMhd<2>::State& s) {
+  const double dx = x[0] - 0.5, dy = x[1] - 0.5;
+  s = mhd.from_primitive(1.0, {0.1, -0.05, 0.0}, {0.3, 0.3, 0.0},
+                         1.0 + 2.0 * std::exp(-40 * (dx * dx + dy * dy)));
+};
+
+TEST(ReBlocking, EulerUniformGridBitwiseInvariant) {
+  const auto a = run_uniform<Euler<2>>(euler, euler_ic, 8, 0, 0, 5);
+  const auto b = run_uniform<Euler<2>>(euler, euler_ic, 16, 0, 0, 5);
+  expect_bitwise(a, b, "8^2 vs 16^2");
+  const auto c = run_uniform<Euler<2>>(euler, euler_ic, 32, 0, 0, 5);
+  expect_bitwise(a, c, "8^2 vs 32^2");
+}
+
+TEST(ReBlocking, MhdUniformGridBitwiseInvariant) {
+  const auto a = run_uniform<IdealMhd<2>>(mhd, mhd_ic, 8, 0, 0, 4);
+  const auto b = run_uniform<IdealMhd<2>>(mhd, mhd_ic, 16, 0, 0, 4);
+  expect_bitwise(a, b, "8^2 vs 16^2 (MHD)");
+}
+
+TEST(ReBlocking, PadIsBitwiseInvisible) {
+  // Padding changes only the allocation stride; uniform and adaptive runs
+  // must not see it.
+  const auto u0 = run_uniform<Euler<2>>(euler, euler_ic, 16, 0, 0, 5);
+  const auto u1 = run_uniform<Euler<2>>(euler, euler_ic, 16, 1, 0, 5);
+  expect_bitwise(u0, u1, "uniform pad0=1");
+  const auto a0 = run_adaptive<Euler<2>>(euler, euler_ic, 8, 0, 0);
+  const auto a1 = run_adaptive<Euler<2>>(euler, euler_ic, 8, 1, 0);
+  const auto a3 = run_adaptive<Euler<2>>(euler, euler_ic, 8, 3, 0);
+  expect_bitwise(a0, a1, "adaptive pad0=1");
+  expect_bitwise(a0, a3, "adaptive pad0=3");
+}
+
+TEST(ReBlocking, SubBlockingIsBitwiseInvisible) {
+  const auto u0 = run_uniform<Euler<2>>(euler, euler_ic, 16, 0, 0, 5);
+  const auto u8 = run_uniform<Euler<2>>(euler, euler_ic, 16, 0, 8, 5);
+  const auto u4 = run_uniform<Euler<2>>(euler, euler_ic, 16, 0, 4, 5);
+  expect_bitwise(u0, u8, "uniform sub=8");
+  expect_bitwise(u0, u4, "uniform sub=4");
+  const auto m0 = run_uniform<IdealMhd<2>>(mhd, mhd_ic, 16, 0, 0, 4);
+  const auto m8 = run_uniform<IdealMhd<2>>(mhd, mhd_ic, 16, 0, 8, 4);
+  expect_bitwise(m0, m8, "uniform sub=8 (MHD)");
+  // Adaptive path (flux correction records face fluxes, where tiling must
+  // transparently fall back to the whole-block kernel).
+  const auto a0 = run_adaptive<Euler<2>>(euler, euler_ic, 8, 0, 0);
+  const auto a4 = run_adaptive<Euler<2>>(euler, euler_ic, 8, 0, 4);
+  expect_bitwise(a0, a4, "adaptive sub=4");
+}
+
+TEST(ReBlocking, PadAndSubBlockingCompose) {
+  const auto u = run_uniform<Euler<2>>(euler, euler_ic, 16, 0, 0, 5);
+  const auto t = run_uniform<Euler<2>>(euler, euler_ic, 16, 2, 8, 5);
+  expect_bitwise(u, t, "pad=2 sub=8");
+}
+
+}  // namespace
+}  // namespace ab

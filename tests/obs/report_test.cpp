@@ -63,6 +63,23 @@ TEST(JsonLine, GoldenRecord) {
   EXPECT_EQ(json_line(sample_report()), expected);
 }
 
+// The layout field is opt-in: empty (legacy producers) keeps records
+// byte-identical to the pre-field format; non-empty slots in after
+// cells_updated, escaped like every other string.
+TEST(JsonLine, LayoutFieldOnlyWhenSet) {
+  StepReport r = sample_report();
+  ASSERT_EQ(json_line(r).find("\"layout\""), std::string::npos);
+  r.layout = "12x12x12+pad1";
+  const std::string line = json_line(r);
+  EXPECT_NE(line.find("\"cells_updated\":448,\"layout\":\"12x12x12+pad1\","
+                      "\"refined\":2"),
+            std::string::npos)
+      << line;
+  testjson::Value doc;
+  ASSERT_TRUE(testjson::parse(line, doc)) << line;
+  EXPECT_EQ(doc.find("layout")->str, "12x12x12+pad1");
+}
+
 TEST(JsonLine, EmptyPerRankOmitsKey) {
   StepReport r = sample_report();
   r.per_rank.clear();

@@ -63,7 +63,9 @@ def load_benchmarks(path, label):
                  "BENCH_*.json wrapper)")
     benches = doc.get("benchmarks", doc.get("after", []))
     context = doc.get("context", doc.get("seed_context", {}))
-    return benches, context
+    host = doc.get("host", {})
+    build_type = host.get("build_type") if isinstance(host, dict) else None
+    return benches, context, build_type
 
 
 def run_benchmarks(binary, bench_filter, repetitions):
@@ -86,7 +88,7 @@ def run_benchmarks(binary, bench_filter, repetitions):
     except json.JSONDecodeError as e:
         sys.exit(f"error: {binary} did not produce valid benchmark JSON "
                  f"({e.msg})")
-    return doc.get("benchmarks", []), doc.get("context", {})
+    return doc.get("benchmarks", []), doc.get("context", {}), None
 
 
 def main():
@@ -122,13 +124,27 @@ def main():
     if args.threshold <= 1.0:
         p.error("--threshold must be > 1.0")
 
-    seed_benches, seed_ctx = load_benchmarks(args.seed, "seed baseline")
+    seed_benches, seed_ctx, seed_bt = load_benchmarks(args.seed, "seed baseline")
     if args.bench_binary:
-        cur_benches, cur_ctx = run_benchmarks(
+        cur_benches, cur_ctx, cur_bt = run_benchmarks(
             args.bench_binary, args.filter, args.repetitions
         )
     else:
-        cur_benches, cur_ctx = load_benchmarks(args.current, "current")
+        cur_benches, cur_ctx, cur_bt = load_benchmarks(args.current, "current")
+
+    # Comparisons must be like-for-like: a Debug run "regressing" against a
+    # Release seed (or a Release run "fixing" a Debug baseline) is a build
+    # configuration artifact, not a code change. Files without a
+    # host.build_type tag (historical baselines, raw google-benchmark
+    # output) are accepted as before — the check only fires when both
+    # sides declare a build type and they disagree.
+    if seed_bt and cur_bt and seed_bt != cur_bt:
+        sys.exit(
+            f"error: build-type mismatch — seed is a '{seed_bt}' build but "
+            f"the current run is '{cur_bt}'; rerun both under the same "
+            "CMAKE_BUILD_TYPE (bench/run_benchmarks.sh enforces Release) "
+            "before comparing"
+        )
 
     seed_rep = representative(seed_benches)
     cur_rep = representative(cur_benches)
@@ -143,12 +159,13 @@ def main():
         print("error: no comparable benchmarks in the current run", file=sys.stderr)
         return 2
 
-    for label, ctx in (("seed", seed_ctx), ("current", cur_ctx)):
-        if ctx:
+    for label, ctx, bt in (("seed", seed_ctx, seed_bt),
+                           ("current", cur_ctx, cur_bt)):
+        if ctx or bt:
             print(
                 f"{label:8s} host: {ctx.get('host_name', '?')}  "
                 f"cpus: {ctx.get('num_cpus', '?')}  "
-                f"build: {ctx.get('library_build_type', ctx.get('build_type', '?'))}"
+                f"build: {bt or ctx.get('library_build_type', ctx.get('build_type', '?'))}"
             )
 
     failures = []

@@ -17,12 +17,15 @@ cmake -B "$build_dir" -S "$repo_root" \
 targets=(thread_pool_test task_graph_test block_pool_test ghost_test
          ghost_batch_test parallel_solver_test amr_solver_test
          subcycling_test determinism_test substrate_determinism_test
-         checkpoint_corruption_test fault_test)
+         checkpoint_corruption_test fault_test
+         tune_probe_test tune_cache_test reblocking_test)
 cmake --build "$build_dir" -j --target "${targets[@]}"
 
 # The fault suite rides along: recovery rebuilds solver state wholesale,
 # which is exactly where a latent race would hide. The substrate suite
 # exercises the work-stealing deques and the pooled stores under threaded
-# steppers — the two new places a data race could live.
+# steppers — the two new places a data race could live. The tune suite runs
+# probe sweeps and autotuned solvers whose sub-blocked tiling feeds the
+# threaded task graph.
 ctest --test-dir "$build_dir" --output-on-failure \
-  -R 'ThreadPool|TaskGraph|BlockPool|BlockStorePool|Ghost|ParallelSolver|AmrSolver|Subcycling|Determinism|SubstrateDeterminism|CheckpointCorruption|FaultPlan|FaultyWire|Recovery'
+  -R 'ThreadPool|TaskGraph|BlockPool|BlockStorePool|Ghost|ParallelSolver|AmrSolver|Subcycling|Determinism|SubstrateDeterminism|CheckpointCorruption|FaultPlan|FaultyWire|Recovery|Tune|ReBlocking'

@@ -136,6 +136,32 @@ def summarize_report(path, records):
             line += f"  (reuse rate {100.0 * hits / (hits + fresh):.1f}%)"
         print(line)
 
+    # Layout autotuner: decision gauges published every step, so the last
+    # record tells the whole story. tune.probe_ns.* carries the measured
+    # per-candidate curve when the startup run probed (vs reused the cache).
+    tune = {k: v for k, v in gauges.items() if k.startswith("tune.")}
+    if tune.get("tune.tuned"):
+        label = f"{int(tune.get('tune.m', 0))}"
+        if tune.get("tune.pad0"):
+            label += f"+pad{int(tune['tune.pad0'])}"
+        if tune.get("tune.sub_block"):
+            label += f"/sub{int(tune['tune.sub_block'])}"
+        src = "cache" if tune.get("tune.from_cache") else "probed"
+        probes = sum(1 for k in tune if k.startswith("tune.probe_ns."))
+        line = (f"tune: chose block edge {label} at "
+                f"{tune.get('tune.ns_per_cell', 0.0):.1f} ns/cell ({src}")
+        if probes:
+            line += f", {probes} candidates"
+        line += ")"
+        base = tune.get("tune.baseline_ns_per_cell", 0.0)
+        if base:
+            line += f"  baseline 8/pad0: {base:.1f} ns/cell"
+        if last.get("layout"):
+            line += f"  layout={last['layout']}"
+        print(line)
+    elif tune:
+        print("tune: enabled, no applicable candidate (layout unchanged)")
+
     per_rank = {}
     for r in records:
         for t in r.get("per_rank", []):
