@@ -55,10 +55,15 @@ if [ ! -x "$build_dir/bench/fig5_block_size" ]; then
   cmake --build "$build_dir" --target fig5_block_size -j > /dev/null
 fi
 
+if [ ! -x "$build_dir/bench/abl_scale_ranks" ]; then
+  cmake --build "$build_dir" --target abl_scale_ranks -j > /dev/null
+fi
+
 raw="$(mktemp)"
 churn_raw="$(mktemp)"
 fig5_raw="$(mktemp)"
-trap 'rm -f "$raw" "$churn_raw" "$fig5_raw"' EXIT
+scale_raw="$(mktemp)"
+trap 'rm -f "$raw" "$churn_raw" "$fig5_raw" "$scale_raw"' EXIT
 "$build_dir/bench/bench_kernels" --benchmark_format=json "$@" > "$raw"
 # Regrid-churn storm, pooled (Arg 1) vs malloc (Arg 0) block substrate.
 # Runs need >= ~10 iterations for the malloc side to reach its
@@ -70,6 +75,8 @@ trap 'rm -f "$raw" "$churn_raw" "$fig5_raw"' EXIT
 # Figure-5 block-size curve via the autotuner's probe harness, plus the
 # layout the tuner would pick on this host.
 "$build_dir/bench/fig5_block_size" --json > "$fig5_raw"
+# Distributed- vs global-metadata scale-out sweep (P = 64..4096).
+"$build_dir/bench/abl_scale_ranks" --json > "$scale_raw"
 
 # Host metadata stamped into both output files.
 compiler="$(c++ --version 2>/dev/null | head -1 || echo unknown)"
@@ -88,11 +95,11 @@ AB_BENCH_COMPILER="$compiler" AB_BENCH_NATIVE_ARCH="$native_arch" \
 AB_BENCH_CXX_FLAGS="$cxx_flags" AB_BENCH_GIT_SHA="$git_sha" \
 AB_BENCH_NPROC="$ncpu" AB_BENCH_BUILD_TYPE="$build_type" \
 python3 - "$raw" "$seed" "$out" "$solver_out" "$churn_raw" "$churn_seed" \
-  "$fig5_raw" <<'EOF'
+  "$fig5_raw" "$scale_raw" <<'EOF'
 import json, os, sys
 
 (raw_path, seed_path, out_path, solver_path, churn_path, churn_seed_path,
- fig5_path) = sys.argv[1:8]
+ fig5_path, scale_path) = sys.argv[1:9]
 after = json.load(open(raw_path))
 host = {
     "compiler": os.environ.get("AB_BENCH_COMPILER", "unknown"),
@@ -183,6 +190,12 @@ solver_doc["regrid_churn"] = churn_doc
 fig5 = json.load(open(fig5_path))
 solver_doc["fig5"] = fig5
 
+# Distributed- vs global-metadata scale-out sweep (abl_scale_ranks):
+# per-rank metadata bytes, hull sizes, and regrid-update traffic by rank
+# count — the docs/PERFORMANCE.md distributed-metadata table.
+scale = json.load(open(scale_path))
+solver_doc["scale_ranks"] = scale
+
 json.dump(solver_doc, open(solver_path, "w"), indent=1)
 print(f"wrote {solver_path} ({len(solver)} BM_SolverStep entries)")
 for name, ratio in churn_doc["pool_speedup"].items():
@@ -199,4 +212,10 @@ if chosen:
     vs = f" ({base / chosen['ns_per_cell']:.2f}x vs 8^3)" if base else ""
     print(f"  fig5 autotuner pick: {label} at "
           f"{chosen['ns_per_cell']:.1f} ns/cell{vs}")
+pts = scale.get("points", [])
+if pts:
+    w = max(pts, key=lambda p: p["npes"])
+    print(f"  scale_ranks: P={w['npes']} metadata "
+          f"{w['dist_rank_bytes'] / 1e3:.1f} KB/rank distributed vs "
+          f"{w['global_rank_bytes'] / 1e3:.1f} KB/rank global")
 EOF

@@ -63,6 +63,10 @@ struct RegridCost {
   std::int64_t migration_messages = 0;
   std::int64_t migration_bytes = 0;
   std::int64_t migrated_blocks = 0;
+  /// Distributed-metadata only: binarized-octree topology deltas shipped
+  /// to neighbor ranks after the regrid (zero on the global path).
+  std::int64_t topo_delta_messages = 0;
+  std::int64_t topo_delta_bytes = 0;
   double imbalance_before = 1.0;  ///< after adapt, before re-partitioning
   double imbalance_after = 1.0;
 };
@@ -80,6 +84,8 @@ struct RankRunTotals {
   std::int64_t migration_messages = 0;
   std::int64_t migration_bytes = 0;
   std::int64_t migrated_blocks = 0;
+  std::int64_t topo_delta_messages = 0;
+  std::int64_t topo_delta_bytes = 0;
   std::uint64_t flops = 0;
   double t_compute = 0.0;
   double t_comm = 0.0;
@@ -103,6 +109,8 @@ struct RankRunTotals {
     migration_messages += c.migration_messages;
     migration_bytes += c.migration_bytes;
     migrated_blocks += c.migrated_blocks;
+    topo_delta_messages += c.topo_delta_messages;
+    topo_delta_bytes += c.topo_delta_bytes;
   }
 };
 

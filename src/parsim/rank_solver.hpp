@@ -28,6 +28,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -47,9 +48,11 @@
 #include "parsim/block_migration.hpp"
 #include "parsim/buffered_exchange.hpp"
 #include "parsim/fault.hpp"
+#include "parsim/local_topology.hpp"
 #include "parsim/machine.hpp"
 #include "parsim/partition.hpp"
 #include "parsim/rank_accounting.hpp"
+#include "util/topo_codec.hpp"
 #include "physics/kernel.hpp"
 #include "util/aligned.hpp"
 #include "util/error.hpp"
@@ -70,6 +73,14 @@ class RankSolver {
     /// Lossy-wire / rank-death fault injection (nullptr = perfect
     /// hardware). See src/parsim/fault.hpp and docs/ROBUSTNESS.md.
     FaultPlan* faults = nullptr;
+    /// Distributed block metadata (env override AB_DIST_META): every rank
+    /// holds only its owned blocks plus a neighbor hull, with neighbor
+    /// discovery by SFC curve key and topology deltas exchanged on regrid
+    /// (src/parsim/local_topology.hpp). Requires a Morton or Hilbert
+    /// partition policy. Results are bitwise identical to the global-
+    /// metadata path; the local view is load-bearing for ghost-plan,
+    /// flux-plan, and migration verification.
+    bool distributed_metadata = false;
     /// Auto-checkpoint cadence in steps (0 = off). When positive, step()
     /// writes a v2 checkpoint to `checkpoint_path` at the top of every
     /// step whose index is a multiple of the cadence — including step 0,
@@ -122,6 +133,18 @@ class RankSolver {
                "RankSolver: checkpoint_every needs a checkpoint_path");
     buffered_.set_fault_plan(cfg_.faults);
     board_.set_fault_plan(cfg_.faults);
+    distmeta_ = resolve_distmeta(cfg_);
+    if (distmeta_ && (!CurveMap<D>::supports(cfg_.policy) ||
+                      cfg_.solver.forest.max_level_diff != 1)) {
+      // A config request for an unsupportable setup is a caller error; an
+      // env-forced AB_DIST_META=1 on such a run falls back to global
+      // metadata (the same grace AB_AUTOTUNE shows inapplicable layouts).
+      AB_REQUIRE(!cfg_.distributed_metadata,
+                 "RankSolver: distributed_metadata requires an SFC "
+                 "partition policy (Morton or Hilbert) and the 2:1 level "
+                 "constraint");
+      distmeta_ = false;
+    }
     rebuild_rank_structures();
   }
 
@@ -153,6 +176,10 @@ class RankSolver {
   const RankStepCost& last_step_cost() const { return last_step_; }
   const RegridCost& last_regrid_cost() const { return last_regrid_; }
   const RankRunTotals& totals() const { return totals_; }
+  /// Whether the distributed-metadata path is active (config or env).
+  bool distributed_metadata() const { return distmeta_; }
+  /// The per-rank local views (null when distributed_metadata is off).
+  const LocalTopologySet<D>* local_topology() const { return topo_.get(); }
 
   /// Cell size of a block at `level`.
   RVec<D> cell_dx(int level) const {
@@ -394,6 +421,12 @@ class RankSolver {
     for (int id : forest_.leaves())
       flags.emplace_back(id, criterion(forest_, store_of(id), id));
 
+    // Distributed metadata: each rank records the topology changes it
+    // performs, to broadcast (binarized-octree encoded) to its neighbor
+    // ranks after the regrid settles.
+    std::vector<std::vector<TopoDeltaRecord<D>>> deltas;
+    if (distmeta_) deltas.resize(static_cast<std::size_t>(cfg_.npes));
+
     // Refinement (cascades may refine additional blocks).
     for (auto [id, flag] : flags) {
       if (flag != AdaptFlag::Refine) continue;
@@ -401,6 +434,10 @@ class RankSolver {
       if (forest_.level(id) >= cfg_.solver.forest.max_level) continue;
       for (const auto& ev : forest_.refine(id)) {
         const int pe = owner_at(ev.parent);
+        if (distmeta_)
+          deltas[static_cast<std::size_t>(pe)].push_back(
+              {TopoDeltaOp::Refine, forest_.level(ev.parent),
+               forest_.coords(ev.parent)});
         prolong_to_children<D>(stores_[static_cast<std::size_t>(pe)], ev,
                                cfg_.solver.prolongation);
         for (int c : ev.children) {
@@ -466,6 +503,9 @@ class RankSolver {
         owner_[static_cast<std::size_t>(c)] = -1;
       }
       set_owner_entry(p, pe);
+      if (distmeta_)
+        deltas[static_cast<std::size_t>(pe)].push_back(
+            {TopoDeltaOp::Coarsen, forest_.level(p), forest_.coords(p)});
       forest_.coarsen(p);
       ++res.coarsened;
     }
@@ -493,6 +533,7 @@ class RankSolver {
       owner_ = std::move(fresh);
       buffered_.set_owner(owner_, cfg_.npes);
       rebuild_rank_structures();
+      if (distmeta_) exchange_topology_deltas(deltas, rc);
       rc.migrated_blocks = ms.blocks;
       rc.migration_messages = ms.messages;
       rc.migration_bytes = ms.bytes;
@@ -596,6 +637,110 @@ class RankSolver {
           bf);
     if (cfg_.solver.flux_correction)
       for (auto& r : registers_) r.rebuild(exchanger_);
+    if (distmeta_) rebuild_local_topology();
+  }
+
+  /// Resolve the distributed-metadata switch (config + AB_DIST_META env,
+  /// same precedence as AB_BLOCK_POOL).
+  static bool resolve_distmeta(const Config& cfg) {
+    bool use = cfg.distributed_metadata;
+    if (const char* e = std::getenv("AB_DIST_META")) use = e[0] != '0';
+    return use;
+  }
+
+  /// Rebuild every rank's local view (owned + hull + directory) for the
+  /// current partition, then verify the communication plans against it —
+  /// the local view is the authority: any block a plan touches across a
+  /// rank boundary must be discoverable by curve-key probing alone.
+  void rebuild_local_topology() {
+    topo_ = std::make_unique<LocalTopologySet<D>>(forest_, owner_, cfg_.npes,
+                                                  cfg_.policy);
+    topo_probes_acc_ += topo_->stats().probes;
+    topo_remote_acc_ += topo_->stats().remote_probes;
+    // Directory check: every owned block's key interval must resolve to
+    // its owner (this is what routes migration payloads when no rank holds
+    // the global owner array).
+    for (int id : forest_.leaves()) {
+      const std::uint64_t key = topo_->curve().interval_begin(
+          forest_.level(id), forest_.coords(id));
+      AB_REQUIRE(topo_->directory().owner_of(key) == owner_at(id),
+                 "distributed metadata: directory disagrees with the "
+                 "partition for block " + std::to_string(id));
+    }
+    // Ghost plan: both endpoints of every cross-rank op must know the
+    // remote block from their hull.
+    for (const auto& op : exchanger_.ops()) {
+      const int ps = owner_at(op.src);
+      const int pd = owner_at(op.dst);
+      if (ps == pd) continue;
+      AB_REQUIRE(
+          topo_->knows(pd, forest_.level(op.src), forest_.coords(op.src)) &&
+              topo_->knows(ps, forest_.level(op.dst),
+                           forest_.coords(op.dst)),
+          "distributed metadata: ghost-plan block missing from the "
+          "neighbor hull");
+    }
+    // Flux plan: cross-rank coarse/fine correction pairs likewise.
+    if (cfg_.solver.flux_correction) {
+      for (const auto& c : registers_.front().corrections()) {
+        const int pf = owner_at(c.fine);
+        const int pc = owner_at(c.coarse);
+        if (pf == pc) continue;
+        AB_REQUIRE(
+            topo_->knows(pc, forest_.level(c.fine),
+                         forest_.coords(c.fine)) &&
+                topo_->knows(pf, forest_.level(c.coarse),
+                             forest_.coords(c.coarse)),
+            "distributed metadata: flux-plan block missing from the "
+            "neighbor hull");
+      }
+    }
+  }
+
+  /// Ship each rank's regrid topology changes (compact binarized-octree
+  /// delta records, src/util/topo_codec.hpp) to its neighbor ranks through
+  /// the message board — the same lossy wire as every other payload, so
+  /// fault injection composes — and verify the decoded records match.
+  void exchange_topology_deltas(
+      const std::vector<std::vector<TopoDeltaRecord<D>>>& deltas,
+      RegridCost& rc) {
+    board_.clear();
+    std::vector<std::vector<double>> packed(
+        static_cast<std::size_t>(cfg_.npes));
+    for (int p = 0; p < cfg_.npes; ++p) {
+      const auto& recs = deltas[static_cast<std::size_t>(p)];
+      if (recs.empty()) continue;
+      const std::vector<std::uint8_t> bytes = encode_topo_delta<D>(recs);
+      // Byte payloads ride the double-valued board: one length double,
+      // then the bytes packed eight per double.
+      std::vector<double>& buf = packed[static_cast<std::size_t>(p)];
+      buf.assign(1 + (bytes.size() + sizeof(double) - 1) / sizeof(double),
+                 0.0);
+      buf[0] = static_cast<double>(bytes.size());
+      std::memcpy(buf.data() + 1, bytes.data(), bytes.size());
+      for (int q : topo_->rank(p).neighbor_ranks())
+        board_.send(p, q, buf.data(),
+                    static_cast<std::int64_t>(buf.size()));
+    }
+    for (int p = 0; p < cfg_.npes; ++p) {
+      const auto& buf = packed[static_cast<std::size_t>(p)];
+      if (buf.empty()) continue;
+      for (int q : topo_->rank(p).neighbor_ranks()) {
+        const double* payload =
+            board_.receive(p, q, static_cast<std::int64_t>(buf.size()));
+        const std::size_t nbytes = static_cast<std::size_t>(payload[0]);
+        std::vector<std::uint8_t> rx(nbytes);
+        std::memcpy(rx.data(), payload + 1, nbytes);
+        AB_REQUIRE(decode_topo_delta<D>(rx) ==
+                       deltas[static_cast<std::size_t>(p)],
+                   "distributed metadata: topology delta did not survive "
+                   "the wire");
+      }
+    }
+    rc.topo_delta_messages = board_.messages();
+    rc.topo_delta_bytes = board_.bytes();
+    topo_delta_msgs_acc_ += rc.topo_delta_messages;
+    topo_delta_bytes_acc_ += rc.topo_delta_bytes;
   }
 
   /// Buffered ghost exchange across all ranks + per-rank BCs. BC faces
@@ -743,6 +888,29 @@ class RankSolver {
       pool_reuse_seen_ = ps.reuse_hits;
       pool_fresh_seen_ = ps.fresh_allocs;
     }
+    if (distmeta_ && topo_ != nullptr) {
+      // Per-rank topology footprint: the gauges must track blocks/rank +
+      // hull, not total blocks (the distributed-metadata contract). Probe
+      // and delta totals are cumulative; counters take per-step deltas.
+      m.gauge("topo.max_owned")
+          ->set(static_cast<double>(topo_->max_owned()));
+      m.gauge("topo.max_hull")->set(static_cast<double>(topo_->max_hull()));
+      m.gauge("topo.max_rank_bytes")
+          ->set(static_cast<double>(topo_->max_rank_bytes()));
+      m.gauge("topo.directory_bytes")
+          ->set(static_cast<double>(topo_->directory().bytes()));
+      auto pub = [&m](const char* name, std::int64_t cur,
+                      std::int64_t& prev) {
+        if (cur > prev)
+          m.counter(name)->add(static_cast<std::uint64_t>(cur - prev));
+        prev = cur;
+      };
+      pub("topo.probes", topo_probes_acc_, topo_probes_seen_);
+      pub("topo.remote_probes", topo_remote_acc_, topo_remote_seen_);
+      pub("topo.delta_messages", topo_delta_msgs_acc_,
+          topo_delta_msgs_seen_);
+      pub("topo.delta_bytes", topo_delta_bytes_acc_, topo_delta_bytes_seen_);
+    }
     publish_tune_gauges(m, tune_decision_);
     if (cfg_.faults != nullptr) {
       // The plan's stats are run totals; counters take per-step deltas.
@@ -834,6 +1002,19 @@ class RankSolver {
   std::vector<BlockStore<D>> stage2_;   ///< per-rank stage-2 (refluxing only)
   std::vector<FluxRegister<D>> registers_;  ///< per-rank flux recording
   std::vector<std::vector<BoundaryFace>> bfaces_by_pe_;
+  /// Distributed metadata (Config::distributed_metadata / AB_DIST_META):
+  /// per-rank local views rebuilt with every partition change; the probe
+  /// and delta totals feed the topo.* telemetry counters.
+  bool distmeta_ = false;
+  std::unique_ptr<LocalTopologySet<D>> topo_;
+  std::int64_t topo_probes_acc_ = 0;
+  std::int64_t topo_remote_acc_ = 0;
+  std::int64_t topo_delta_msgs_acc_ = 0;
+  std::int64_t topo_delta_bytes_acc_ = 0;
+  std::int64_t topo_probes_seen_ = 0;
+  std::int64_t topo_remote_seen_ = 0;
+  std::int64_t topo_delta_msgs_seen_ = 0;
+  std::int64_t topo_delta_bytes_seen_ = 0;
   AlignedScratch kernel_scratch_;
   std::vector<std::uint64_t> rank_flops_;
   std::vector<bool> alive_;  ///< per-rank liveness (deaths are permanent)

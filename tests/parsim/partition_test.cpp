@@ -2,11 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <set>
+#include <utility>
 
 #include "parsim/buffered_exchange.hpp"
+#include "parsim/local_topology.hpp"
 #include "parsim/workload.hpp"
 
 namespace ab {
@@ -263,6 +266,87 @@ TEST(Partition, EmptyPesDoNotBreakBufferedExchange) {
       ASSERT_EQ(a.at(0, p), b.at(0, p)) << "block " << id;
       ASSERT_EQ(a.at(1, p), b.at(1, p)) << "block " << id;
     });
+  }
+}
+
+// --- SFC key ranges (the distributed-metadata contract) -----------------
+
+TEST(Partition, RankDirectoryRejectsEmptyAndOverlappingRanges) {
+  RankDirectory dir;
+  dir.add(0, 0, 16);
+  dir.add(2, 16, 64);  // rank 1 intentionally absent (owns nothing)
+  EXPECT_EQ(dir.owner_of(0), 0);
+  EXPECT_EQ(dir.owner_of(15), 0);
+  EXPECT_EQ(dir.owner_of(16), 2);
+  EXPECT_EQ(dir.owner_of(63), 2);
+  EXPECT_EQ(dir.owner_of(64), -1);  // past the last owned key
+  EXPECT_EQ(dir.num_ranges(), 2u);
+  // Empty and out-of-order/overlapping ranges violate the contiguous-chunk
+  // invariant and must be refused up front.
+  EXPECT_THROW(dir.add(3, 80, 80), Error);
+  EXPECT_THROW(dir.add(3, 32, 96), Error);
+}
+
+TEST(Partition, EmptyRankKeyRangesAreSkippedNotZeroWidth) {
+  // npes far above the leaf count: the SFC partitions leave most ranks
+  // empty. Those ranks must get NO directory range (a zero-width range
+  // would trip the begin < end guard), and every leaf key must still
+  // resolve to its actual owner.
+  Forest<2>::Config cfg;
+  cfg.root_blocks = {2, 2};
+  Forest<2> f(cfg);  // 4 leaves
+  for (PartitionPolicy policy :
+       {PartitionPolicy::Morton, PartitionPolicy::Hilbert}) {
+    SCOPED_TRACE(::testing::Message() << "policy "
+                                      << static_cast<int>(policy));
+    const int npes = 64;
+    const auto owner = partition_blocks<2>(f, npes, policy);
+    const LocalTopologySet<2> topo(f, owner, npes, policy);
+    EXPECT_EQ(topo.directory().num_ranges(), 4u);
+    for (int id : f.leaves()) {
+      const std::uint64_t key =
+          topo.curve().interval_begin(f.level(id), f.coords(id));
+      EXPECT_EQ(topo.directory().owner_of(key), owner[id]);
+    }
+  }
+}
+
+TEST(Partition, SingleRankKeyRangeCoversEveryLeaf) {
+  Forest<2> f = make_forest(2);
+  for (PartitionPolicy policy :
+       {PartitionPolicy::Morton, PartitionPolicy::Hilbert}) {
+    SCOPED_TRACE(::testing::Message() << "policy "
+                                      << static_cast<int>(policy));
+    const auto owner = partition_blocks<2>(f, 1, policy);
+    const LocalTopologySet<2> topo(f, owner, 1, policy);
+    ASSERT_EQ(topo.directory().num_ranges(), 1u);
+    for (int id : f.leaves()) {
+      const std::uint64_t begin =
+          topo.curve().interval_begin(f.level(id), f.coords(id));
+      EXPECT_EQ(topo.directory().owner_of(begin), 0);
+      EXPECT_EQ(topo.directory().owner_of(
+                    begin + topo.curve().span(f.level(id)) - 1),
+                0);
+    }
+  }
+}
+
+TEST(Partition, HilbertChunksAreContiguousInCurveOrder) {
+  // The distributed directory assumes BOTH SFC policies hand each rank one
+  // contiguous chunk of the key-sorted leaf list. Morton is pinned above;
+  // pin Hilbert by sorting leaves by their curve keys.
+  Forest<2> f = make_forest(2);
+  const auto owner = partition_blocks<2>(f, 4, PartitionPolicy::Hilbert);
+  const CurveMap<2> curve(f.config(), PartitionPolicy::Hilbert);
+  std::vector<std::pair<std::uint64_t, int>> by_key;
+  for (int id : f.leaves())
+    by_key.push_back(
+        {curve.interval_begin(f.level(id), f.coords(id)), owner[id]});
+  std::sort(by_key.begin(), by_key.end());
+  int prev = 0;
+  for (const auto& [key, pe] : by_key) {
+    EXPECT_GE(pe, prev);
+    prev = pe;
   }
 }
 

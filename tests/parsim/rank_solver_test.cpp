@@ -5,16 +5,24 @@
 // policies x rank counts x physics — including across mid-run regrids
 // that trigger re-partitioning and block migration.
 //
+// The same harness runs with distributed metadata on (each rank holding
+// only its owned blocks + neighbor hull, Config::distributed_metadata) —
+// the local-topology path must reproduce the global path bit for bit,
+// including regrid delta exchange over the faulty wire.
+//
 // Every randomized case carries its seed in a SCOPED_TRACE, so a failure
-// prints the exact (seed, npes, policy) needed to reproduce it.
+// prints the exact (seed, npes, policy, distmeta) needed to reproduce it.
 #include "parsim/rank_solver.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <string>
 #include <tuple>
 
 #include "amr/solver.hpp"
+#include "parsim/fault.hpp"
 #include "physics/advection.hpp"
 #include "physics/euler.hpp"
 #include "physics/mhd.hpp"
@@ -79,24 +87,39 @@ void run_equivalence(const typename AmrSolver<2, Phys>::Config& scfg,
                      const std::function<void(const RVec<2>&,
                                               typename Phys::State&)>& ic,
                      std::uint64_t seed, int npes, PartitionPolicy policy,
-                     int steps = 6) {
+                     int steps = 6, bool distmeta = false,
+                     FaultPlan* faults = nullptr) {
   SCOPED_TRACE(::testing::Message()
                << "seed=" << seed << " npes=" << npes
-               << " policy=" << static_cast<int>(policy));
+               << " policy=" << static_cast<int>(policy)
+               << " distmeta=" << distmeta);
   AmrSolver<2, Phys> serial(scfg, phys);
   typename RankSolver<2, Phys>::Config rcfg;
   rcfg.solver = scfg;
   rcfg.npes = npes;
   rcfg.policy = policy;
+  rcfg.distributed_metadata = distmeta;
+  rcfg.faults = faults;
   RankSolver<2, Phys> ranks(rcfg, phys);
+  // Mirror the solver's resolution so the whole matrix can be replayed
+  // with AB_DIST_META=1 in the environment: the env overrides the combo's
+  // axis, but falls back to global metadata where unsupported.
+  bool expect_dm = distmeta;
+  if (const char* e = std::getenv("AB_DIST_META")) expect_dm = e[0] != '0';
+  if (!CurveMap<2>::supports(policy) || scfg.forest.max_level_diff != 1)
+    expect_dm = false;
+  ASSERT_EQ(ranks.distributed_metadata(), expect_dm);
+  const bool dm = ranks.distributed_metadata();
 
   const int max_level = scfg.forest.max_level;
+  int topology_changes = 0;
   for (int round = 0; round < 2; ++round) {
     SeededTopologyCriterion<2> crit{splitmix64(seed + round), max_level};
     const auto a = serial.adapt(crit);
     const auto b = ranks.adapt(crit);
     ASSERT_EQ(a.refined, b.refined);
     ASSERT_EQ(a.coarsened, b.coarsened);
+    topology_changes += a.refined + a.coarsened;
   }
   serial.init(ic);
   ranks.init(ic);
@@ -114,6 +137,7 @@ void run_equivalence(const typename AmrSolver<2, Phys>::Config& scfg,
       const auto b = ranks.adapt(crit);
       ASSERT_EQ(a.refined, b.refined);
       ASSERT_EQ(a.coarsened, b.coarsened);
+      topology_changes += a.refined + a.coarsened;
       expect_identical(serial, ranks);
     }
   }
@@ -124,6 +148,20 @@ void run_equivalence(const typename AmrSolver<2, Phys>::Config& scfg,
   EXPECT_EQ(t.flops, ranks.total_flops());
   if (npes > 1 && ranks.forest().num_leaves() > 1)
     EXPECT_GT(t.ghost_messages, 0);
+  if (dm) {
+    // The local views exist, and any regrid that changed topology shipped
+    // delta records to neighbor ranks (every populated rank on this
+    // periodic grid has neighbors once npes > 1).
+    ASSERT_NE(ranks.local_topology(), nullptr);
+    if (npes > 1 && topology_changes > 0) {
+      EXPECT_GT(t.topo_delta_messages, 0);
+      EXPECT_GT(t.topo_delta_bytes, 0);
+    }
+  } else {
+    EXPECT_EQ(ranks.local_topology(), nullptr);
+    EXPECT_EQ(t.topo_delta_messages, 0);
+    EXPECT_EQ(t.topo_delta_bytes, 0);
+  }
 }
 
 // ------------------------------------------------------------ advection
@@ -148,19 +186,24 @@ void advection_ic(const RVec<2>& x, LinearAdvection<2>::State& s) {
   s[0] = 1.0 + 0.8 * std::exp(-30.0 * (dx * dx + dy * dy));
 }
 
-// 4 policies x P in {1,2,3,5,8} = 20 randomized combos. P=8 with a 2x2
-// root grid starts with more ranks than blocks, so empty PEs are exercised
-// throughout (and gain blocks as seeded refinement kicks in).
+// Global metadata: 4 policies x P in {1,2,3,5,8} = 20 randomized combos.
+// P=8 with a 2x2 root grid starts with more ranks than blocks, so empty
+// PEs are exercised throughout (and gain blocks as seeded refinement kicks
+// in). Distributed metadata: the same P sweep over the two SFC policies
+// (the mode's prerequisite) — 10 more combos, each bitwise vs serial.
 class RankSolverAdvection
-    : public ::testing::TestWithParam<std::tuple<int, PartitionPolicy>> {};
+    : public ::testing::TestWithParam<
+          std::tuple<int, PartitionPolicy, bool>> {};
 
 TEST_P(RankSolverAdvection, BitwiseEqualsSerial) {
   const int npes = std::get<0>(GetParam());
   const PartitionPolicy policy = std::get<1>(GetParam());
+  const bool distmeta = std::get<2>(GetParam());
   const std::uint64_t seed =
       splitmix64(1000 + 16 * npes + static_cast<int>(policy));
   run_equivalence<LinearAdvection<2>>(advection_cfg(), advection_phys(),
-                                      advection_ic, seed, npes, policy);
+                                      advection_ic, seed, npes, policy, 6,
+                                      distmeta);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -169,7 +212,15 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(PartitionPolicy::Morton,
                                          PartitionPolicy::Hilbert,
                                          PartitionPolicy::RoundRobin,
-                                         PartitionPolicy::GreedyLpt)));
+                                         PartitionPolicy::GreedyLpt),
+                       ::testing::Values(false)));
+
+INSTANTIATE_TEST_SUITE_P(
+    DistMeta, RankSolverAdvection,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8),
+                       ::testing::Values(PartitionPolicy::Morton,
+                                         PartitionPolicy::Hilbert),
+                       ::testing::Values(true)));
 
 // ---------------------------------------------------------------- Euler
 
@@ -194,23 +245,36 @@ std::function<void(const RVec<2>&, Euler<2>::State&)> euler_ic(
 }
 
 class RankSolverEuler
-    : public ::testing::TestWithParam<std::tuple<int, PartitionPolicy>> {};
+    : public ::testing::TestWithParam<
+          std::tuple<int, PartitionPolicy, bool>> {};
 
 TEST_P(RankSolverEuler, BitwiseEqualsSerialWithRefluxing) {
   const int npes = std::get<0>(GetParam());
   const PartitionPolicy policy = std::get<1>(GetParam());
+  const bool distmeta = std::get<2>(GetParam());
   const std::uint64_t seed =
       splitmix64(2000 + 16 * npes + static_cast<int>(policy));
   Euler<2> phys;
   run_equivalence<Euler<2>>(euler_cfg(true), phys, euler_ic(phys), seed,
-                            npes, policy);
+                            npes, policy, 6, distmeta);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Combos, RankSolverEuler,
     ::testing::Combine(::testing::Values(2, 3, 5, 8),
                        ::testing::Values(PartitionPolicy::Morton,
-                                         PartitionPolicy::RoundRobin)));
+                                         PartitionPolicy::RoundRobin),
+                       ::testing::Values(false)));
+
+// Refluxing under distributed metadata: flux-register partners must be
+// covered by the hull (the solver verifies this internally on every
+// rebuild), for both SFC orders.
+INSTANTIATE_TEST_SUITE_P(
+    DistMeta, RankSolverEuler,
+    ::testing::Combine(::testing::Values(2, 3, 5, 8),
+                       ::testing::Values(PartitionPolicy::Morton,
+                                         PartitionPolicy::Hilbert),
+                       ::testing::Values(true)));
 
 TEST(RankSolver, EulerDataDependentRegrid) {
   // A data-dependent criterion (gradient indicator, interior-only reads)
@@ -272,6 +336,80 @@ TEST(RankSolver, MhdBitwiseEqualsSerial) {
                                PartitionPolicy::Hilbert);
   run_equivalence<IdealMhd<2>>(cfg, phys, ic, splitmix64(4008), 8,
                                PartitionPolicy::GreedyLpt);
+  // Same Hilbert run again with distributed metadata.
+  run_equivalence<IdealMhd<2>>(cfg, phys, ic, splitmix64(4003), 3,
+                               PartitionPolicy::Hilbert, 6, true);
+}
+
+// ------------------------------------------------- distributed metadata
+
+TEST(RankSolver, DistMetaComposesWithFaultyWire) {
+  // Topology deltas travel the same lossy wire as everything else: drops,
+  // bit flips, duplicates, and reorders on the hull exchange must all be
+  // absorbed by the transport while the run stays bitwise-serial.
+  FaultPlan::Config fcfg;
+  fcfg.seed = splitmix64(0xFA111ull);
+  fcfg.drop_rate = 0.08;
+  fcfg.corrupt_rate = 0.08;
+  fcfg.duplicate_rate = 0.05;
+  fcfg.reorder_rate = 0.05;
+  FaultPlan plan(fcfg);
+  run_equivalence<LinearAdvection<2>>(advection_cfg(), advection_phys(),
+                                      advection_ic, splitmix64(5005), 5,
+                                      PartitionPolicy::Hilbert, 6, true,
+                                      &plan);
+  EXPECT_GT(plan.stats().injected(), 0);
+  EXPECT_GT(plan.stats().retries, 0);
+}
+
+TEST(RankSolver, DistMetaEnvOverrideAndFallback) {
+  // This test owns AB_DIST_META; stash any externally forced value (the
+  // whole suite is replayable under AB_DIST_META=1) and restore it last.
+  const char* outer_env = std::getenv("AB_DIST_META");
+  const std::string outer = outer_env ? outer_env : "";
+  unsetenv("AB_DIST_META");
+  LinearAdvection<2> phys = advection_phys();
+  RankSolver<2, LinearAdvection<2>>::Config rcfg;
+  rcfg.solver = advection_cfg();
+  rcfg.npes = 3;
+  rcfg.policy = PartitionPolicy::Morton;
+  {
+    RankSolver<2, LinearAdvection<2>> r(rcfg, phys);
+    EXPECT_FALSE(r.distributed_metadata());  // default off
+    EXPECT_EQ(r.local_topology(), nullptr);
+  }
+  ASSERT_EQ(setenv("AB_DIST_META", "1", 1), 0);
+  {
+    RankSolver<2, LinearAdvection<2>> r(rcfg, phys);
+    EXPECT_TRUE(r.distributed_metadata());
+    EXPECT_NE(r.local_topology(), nullptr);
+  }
+  {
+    // Env-forced on a non-SFC policy falls back to global metadata
+    // instead of failing the run.
+    auto rr = rcfg;
+    rr.policy = PartitionPolicy::RoundRobin;
+    RankSolver<2, LinearAdvection<2>> r(rr, phys);
+    EXPECT_FALSE(r.distributed_metadata());
+  }
+  ASSERT_EQ(setenv("AB_DIST_META", "0", 1), 0);
+  {
+    // AB_DIST_META=0 wins over the config switch.
+    auto rr = rcfg;
+    rr.distributed_metadata = true;
+    RankSolver<2, LinearAdvection<2>> r(rr, phys);
+    EXPECT_FALSE(r.distributed_metadata());
+  }
+  unsetenv("AB_DIST_META");
+  {
+    // Config-requested on a non-SFC policy is a hard error (the caller
+    // asked for a guarantee the partition cannot provide).
+    auto rr = rcfg;
+    rr.policy = PartitionPolicy::GreedyLpt;
+    rr.distributed_metadata = true;
+    EXPECT_THROW((RankSolver<2, LinearAdvection<2>>(rr, phys)), Error);
+  }
+  if (outer_env) ASSERT_EQ(setenv("AB_DIST_META", outer.c_str(), 1), 0);
 }
 
 // -------------------------------------------------- migration-specific
@@ -319,6 +457,36 @@ TEST(RankSolver, RegridMigratesBlocksAndStaysBitwise) {
   serial.step(0.004);
   ranks.step(0.004);
   expect_identical(serial, ranks);
+}
+
+TEST(RankSolver, DistMetaRegridShipsDeltasAndMeasuresTopology) {
+  LinearAdvection<2> phys = advection_phys();
+  RankSolver<2, LinearAdvection<2>>::Config rcfg;
+  rcfg.solver = advection_cfg();
+  rcfg.npes = 4;
+  rcfg.policy = PartitionPolicy::Morton;
+  rcfg.distributed_metadata = true;
+  RankSolver<2, LinearAdvection<2>> ranks(rcfg, phys);
+  ranks.init(advection_ic);
+  ranks.step(0.004);
+
+  const LocalTopologySet<2>* topo = ranks.local_topology();
+  ASSERT_NE(topo, nullptr);
+  // 2x2 periodic roots over 4 ranks: one block each, all mutually adjacent.
+  EXPECT_EQ(topo->max_owned(), 1u);
+  EXPECT_GT(topo->max_hull(), 0u);
+  EXPECT_GT(topo->stats().probes, 0);
+
+  CornerCriterion crit;
+  const auto a = ranks.adapt(crit);
+  ASSERT_GT(a.refined, 0);
+  const RegridCost& rc = ranks.last_regrid_cost();
+  EXPECT_GT(rc.topo_delta_messages, 0);
+  EXPECT_GT(rc.topo_delta_bytes, 0);
+  EXPECT_EQ(ranks.totals().topo_delta_messages, rc.topo_delta_messages);
+  EXPECT_EQ(ranks.totals().topo_delta_bytes, rc.topo_delta_bytes);
+  // The rebuilt views track the refined forest.
+  EXPECT_GE(ranks.local_topology()->max_owned(), 1u);
 }
 
 TEST(RankSolver, StepCostIsPricedOnTheMachineModel) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "parsim/local_topology.hpp"
 #include "parsim/partition.hpp"
 #include "parsim/workload.hpp"
 
@@ -135,6 +136,61 @@ TEST(Simulate, IdlePesHurtEfficiency) {
   auto cost = simulate_step<2>(fx.gx, owner, 32, m,
                                [](int) { return std::uint64_t{100000}; });
   EXPECT_LT(cost.efficiency, 0.6);
+}
+
+TEST(Simulate, ScalesToThousandsOfRanks) {
+  // Thousands of simulated ranks on a 64x64 block grid (4096 blocks). The
+  // cost model must keep pricing sanely, and the distributed-metadata
+  // structures built on the same partitions must stay per-rank sized the
+  // whole way out.
+  Forest<2>::Config cfg;
+  cfg.root_blocks = {64, 64};
+  cfg.periodic = {true, true};
+  Forest<2> forest(cfg);
+  BlockLayout<2> lay({4, 4}, 2, 2);
+  GhostExchanger<2> gx(forest, lay);
+  MachineModel m;
+  m.flops_per_sec = 1e9;
+  m.latency_sec = 1e-6;
+  m.bytes_per_sec = 1e9;
+  auto flops = [](int) { return std::uint64_t{500000}; };
+  for (int npes : {1024, 2048, 4096}) {
+    SCOPED_TRACE(::testing::Message() << "npes " << npes);
+    auto owner = partition_blocks<2>(forest, npes, PartitionPolicy::Morton);
+    auto cost = simulate_step<2>(gx, owner, npes, m, flops);
+    EXPECT_EQ(cost.total_flops, 4096ull * 500000ull);
+    EXPECT_GT(cost.speedup, 20.0);
+    EXPECT_GT(cost.messages, 0);
+    EXPECT_GT(cost.remote_bytes, 0);
+    // 4096 uniform blocks split evenly: Morton chunks are aligned tiles,
+    // so owned counts are exact and hulls are the tile perimeter.
+    const LocalTopologySet<2> topo(forest, owner, npes,
+                                   PartitionPolicy::Morton);
+    EXPECT_EQ(topo.max_owned(), static_cast<std::size_t>(4096 / npes));
+    EXPECT_LE(topo.max_hull(), 16u);
+    EXPECT_EQ(topo.directory().num_ranges(),
+              static_cast<std::size_t>(npes));
+  }
+  // One block per rank: every ghost face crosses ranks.
+  auto all_remote = simulate_step<2>(
+      gx, partition_blocks<2>(forest, 4096, PartitionPolicy::Morton), 4096,
+      m, flops);
+  EXPECT_EQ(all_remote.local_bytes, 0);
+  // Locality still matters at scale: Morton keeps intra-rank faces local
+  // and talks to few neighbor ranks; round-robin makes every face remote
+  // and scatters it across the machine. On a comm-bound network (where
+  // the difference is visible at all) that decides the efficiency.
+  MachineModel slow = m;
+  slow.latency_sec = 1e-4;
+  slow.bytes_per_sec = 1e7;
+  auto mo = simulate_step<2>(
+      gx, partition_blocks<2>(forest, 1024, PartitionPolicy::Morton), 1024,
+      slow, flops);
+  auto rr = simulate_step<2>(
+      gx, partition_blocks<2>(forest, 1024, PartitionPolicy::RoundRobin),
+      1024, slow, flops);
+  EXPECT_LT(mo.remote_bytes, rr.remote_bytes);
+  EXPECT_GT(mo.efficiency, rr.efficiency);
 }
 
 TEST(Simulate, RequiresOwnedLeaves) {

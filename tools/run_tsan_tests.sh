@@ -18,7 +18,8 @@ targets=(thread_pool_test task_graph_test block_pool_test ghost_test
          ghost_batch_test parallel_solver_test amr_solver_test
          subcycling_test determinism_test substrate_determinism_test
          checkpoint_corruption_test fault_test
-         tune_probe_test tune_cache_test reblocking_test)
+         tune_probe_test tune_cache_test reblocking_test
+         topo_codec_test local_topology_test)
 cmake --build "$build_dir" -j --target "${targets[@]}"
 
 # The fault suite rides along: recovery rebuilds solver state wholesale,
@@ -26,6 +27,8 @@ cmake --build "$build_dir" -j --target "${targets[@]}"
 # exercises the work-stealing deques and the pooled stores under threaded
 # steppers — the two new places a data race could live. The tune suite runs
 # probe sweeps and autotuned solvers whose sub-blocked tiling feeds the
-# threaded task graph.
+# threaded task graph. The distmeta suite (topology codec + per-rank local
+# topology) is single-threaded today but rebuilds shared-looking state on
+# every regrid; running it under TSan keeps that assumption checked.
 ctest --test-dir "$build_dir" --output-on-failure \
-  -R 'ThreadPool|TaskGraph|BlockPool|BlockStorePool|Ghost|ParallelSolver|AmrSolver|Subcycling|Determinism|SubstrateDeterminism|CheckpointCorruption|FaultPlan|FaultyWire|Recovery|Tune|ReBlocking'
+  -R 'ThreadPool|TaskGraph|BlockPool|BlockStorePool|Ghost|ParallelSolver|AmrSolver|Subcycling|Determinism|SubstrateDeterminism|CheckpointCorruption|FaultPlan|FaultyWire|Recovery|Tune|ReBlocking|TopoCodec|TopoDelta|LocalTopology'

@@ -136,6 +136,22 @@ def summarize_report(path, records):
             line += f"  (reuse rate {100.0 * hits / (hits + fresh):.1f}%)"
         print(line)
 
+    # Distributed metadata: final per-rank view shape (gauges: hull size,
+    # descriptor/directory bytes) plus cumulative discovery and regrid
+    # traffic (counters: probes issued, delta messages/bytes exchanged).
+    # Absent entirely on global-metadata runs.
+    topo = {k: v for k, v in counters.items() if k.startswith("topo.")}
+    topo.update({k: v for k, v in gauges.items() if k.startswith("topo.")})
+    if topo:
+        line = "topo: " + "  ".join(
+            f"{k}={'null' if v is None else format(v, '.6g')}"
+            for k, v in sorted(topo.items()))
+        probes = topo.get("topo.probes", 0)
+        remote = topo.get("topo.remote_probes", 0)
+        if probes:
+            line += f"  (remote probe rate {100.0 * remote / probes:.1f}%)"
+        print(line)
+
     # Layout autotuner: decision gauges published every step, so the last
     # record tells the whole story. tune.probe_ns.* carries the measured
     # per-candidate curve when the startup run probed (vs reused the cache).
