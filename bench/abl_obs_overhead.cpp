@@ -1,0 +1,189 @@
+// Observability overhead ablation: what does the telemetry plumbing cost
+// when it is off, attached-but-quiet, and fully tracing?
+//
+// Three configurations of the same seeded rank-parallel run (regrids
+// mid-run so every message phase fires):
+//
+//   off       solver built with telemetry == nullptr — the contract path:
+//             a pointer test per hook site, zero clock reads;
+//   attached  Telemetry bound but the trace disabled — counters and phase
+//             timers accumulate, causal spans do not;
+//   tracing   trace enabled — every message carries span context and
+//             every phase/send/recv emits a span.
+//
+// The number that matters is the off-path delta: "attached" vs "off" must
+// stay within the 2% gate (tools/check_bench_regression.py asserts it from
+// the obs_overhead section run_benchmarks.sh writes into
+// BENCH_solver.json). "tracing" is reported for scale but not gated — you
+// asked for the data, you pay for the data.
+//
+// Modes are interleaved across repetitions and each step index keeps its
+// minimum across repetitions (the per-step noise floor); regrids run
+// between timed steps but outside the timed windows. This rides out host
+// jitter far better than timing whole runs back to back.
+//
+// Usage: abl_obs_overhead [--json] [--reps N] [--steps N] [--npes N]
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+#include "parsim/rank_solver.hpp"
+#include "physics/advection.hpp"
+
+using namespace ab;
+
+namespace {
+
+/// Data-independent churn criterion (hash of seed/level/coords), same
+/// shape as the equivalence harness, so every mode does identical work.
+struct SeededTopologyCriterion {
+  std::uint64_t seed = 0;
+  int max_level = 2;
+
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  AdaptFlag operator()(const Forest<2>& f, const BlockStore<2>&,
+                       int id) const {
+    std::uint64_t h = mix(seed ^ static_cast<std::uint64_t>(
+                                     f.level(id) * 0x9E37u));
+    for (int d = 0; d < 2; ++d)
+      h = mix(h ^ static_cast<std::uint64_t>(f.coords(id)[d] + 1));
+    const int r = static_cast<int>(h % 4);
+    if (r == 0 && f.level(id) < max_level) return AdaptFlag::Refine;
+    if (r == 1 && f.level(id) > 0) return AdaptFlag::Coarsen;
+    return AdaptFlag::Keep;
+  }
+};
+
+void gaussian_ic(const RVec<2>& x, LinearAdvection<2>::State& s) {
+  const double dx = x[0] - 0.5, dy = x[1] - 0.5;
+  s[0] = 1.0 + 0.8 * std::exp(-30.0 * (dx * dx + dy * dy));
+}
+
+enum class Mode { Off, Attached, Tracing };
+
+/// One full seeded run; lowers `floor[s]` to this run's wall ms for step
+/// s. Regrids happen between steps, outside the timed windows.
+void run_once(Mode mode, int npes, int steps, std::vector<double>* floor) {
+  obs::Telemetry tel;
+  if (mode == Mode::Tracing) tel.trace.set_enabled(true);
+
+  LinearAdvection<2> phys;
+  phys.velocity = {0.7, -0.4};
+  RankSolver<2, LinearAdvection<2>>::Config rcfg;
+  rcfg.solver.forest.root_blocks = {2, 2};
+  rcfg.solver.forest.periodic = {true, true};
+  rcfg.solver.forest.max_level = 2;
+  rcfg.solver.cells_per_block = {32, 32};
+  rcfg.solver.flux_correction = true;
+  rcfg.solver.telemetry = mode == Mode::Off ? nullptr : &tel;
+  rcfg.npes = npes;
+  RankSolver<2, LinearAdvection<2>> ranks(rcfg, phys);
+
+  const std::uint64_t seed = 0x0B5ull;
+  for (int round = 0; round < 2; ++round)
+    ranks.adapt(SeededTopologyCriterion{
+        SeededTopologyCriterion::mix(seed + static_cast<std::uint64_t>(round)),
+        rcfg.solver.forest.max_level});
+  ranks.init(gaussian_ic);
+
+  for (int s = 0; s < steps; ++s) {
+    const double dt = ranks.compute_dt();
+    const auto t0 = std::chrono::steady_clock::now();
+    ranks.step(dt);
+    const auto t1 = std::chrono::steady_clock::now();
+    double& f = (*floor)[static_cast<std::size_t>(s)];
+    f = std::min(f, std::chrono::duration<double, std::milli>(t1 - t0)
+                        .count());
+    if (s % 3 == 2)  // keep regrid churn in the run, outside the windows
+      ranks.adapt(SeededTopologyCriterion{
+          SeededTopologyCriterion::mix(seed * 977 +
+                                       static_cast<std::uint64_t>(s)),
+          rcfg.solver.forest.max_level});
+  }
+}
+
+double sum(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  int reps = 12, steps = 12, npes = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc)
+      reps = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc)
+      steps = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--npes") == 0 && i + 1 < argc)
+      npes = std::atoi(argv[++i]);
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--json] [--reps N] [--steps N] [--npes N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<std::vector<double>> floors(
+      3, std::vector<double>(static_cast<std::size_t>(steps),
+                             std::numeric_limits<double>::infinity()));
+  {
+    std::vector<double> warm(static_cast<std::size_t>(steps),
+                             std::numeric_limits<double>::infinity());
+    run_once(Mode::Off, npes, steps, &warm);  // warm-up rep, discarded
+  }
+  for (int r = 0; r < reps; ++r)
+    for (const Mode m : {Mode::Off, Mode::Attached, Mode::Tracing})
+      run_once(m, npes, steps, &floors[static_cast<std::size_t>(m)]);
+
+  const double off = sum(floors[0]) / steps;
+  const double attached = sum(floors[1]) / steps;
+  const double tracing = sum(floors[2]) / steps;
+  const double attached_frac = attached / off - 1.0;
+  const double tracing_frac = tracing / off - 1.0;
+
+  if (json) {
+    std::printf(
+        "{\n \"npes\": %d, \"steps\": %d, \"reps\": %d,\n"
+        " \"off_ms_per_step\": %.6f,\n"
+        " \"attached_ms_per_step\": %.6f,\n"
+        " \"tracing_ms_per_step\": %.6f,\n"
+        " \"attached_overhead_frac\": %.6f,\n"
+        " \"tracing_overhead_frac\": %.6f\n}\n",
+        npes, steps, reps, off, attached, tracing, attached_frac,
+        tracing_frac);
+    return 0;
+  }
+
+  std::printf("Telemetry overhead, P=%d, %d steps, best of %d reps:\n\n",
+              npes, steps, reps);
+  std::printf("  %-28s %10.3f ms/step\n", "off (telemetry == nullptr)", off);
+  std::printf("  %-28s %10.3f ms/step  (%+.2f%%)\n",
+              "attached (trace disabled)", attached, 100.0 * attached_frac);
+  std::printf("  %-28s %10.3f ms/step  (%+.2f%%)\n", "tracing (spans on)",
+              tracing, 100.0 * tracing_frac);
+  std::printf(
+      "\nthe off-path contract is the attached row: counters may exist but "
+      "must cost\nnext to nothing until the trace is switched on "
+      "(gate: <= 2%% vs off,\nenforced by tools/check_bench_regression.py "
+      "--obs-overhead).\n");
+  return 0;
+}

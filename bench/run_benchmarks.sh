@@ -59,11 +59,16 @@ if [ ! -x "$build_dir/bench/abl_scale_ranks" ]; then
   cmake --build "$build_dir" --target abl_scale_ranks -j > /dev/null
 fi
 
+if [ ! -x "$build_dir/bench/abl_obs_overhead" ]; then
+  cmake --build "$build_dir" --target abl_obs_overhead -j > /dev/null
+fi
+
 raw="$(mktemp)"
 churn_raw="$(mktemp)"
 fig5_raw="$(mktemp)"
 scale_raw="$(mktemp)"
-trap 'rm -f "$raw" "$churn_raw" "$fig5_raw" "$scale_raw"' EXIT
+obs_raw="$(mktemp)"
+trap 'rm -f "$raw" "$churn_raw" "$fig5_raw" "$scale_raw" "$obs_raw"' EXIT
 "$build_dir/bench/bench_kernels" --benchmark_format=json "$@" > "$raw"
 # Regrid-churn storm, pooled (Arg 1) vs malloc (Arg 0) block substrate.
 # Runs need >= ~10 iterations for the malloc side to reach its
@@ -77,6 +82,10 @@ trap 'rm -f "$raw" "$churn_raw" "$fig5_raw" "$scale_raw"' EXIT
 "$build_dir/bench/fig5_block_size" --json > "$fig5_raw"
 # Distributed- vs global-metadata scale-out sweep (P = 64..4096).
 "$build_dir/bench/abl_scale_ranks" --json > "$scale_raw"
+# Telemetry overhead ablation: off vs attached vs tracing (interleaved
+# reps, per-mode minima). The attached-vs-off delta is the zero-cost-off
+# contract; tools/check_bench_regression.py --obs-overhead gates it at 2%.
+"$build_dir/bench/abl_obs_overhead" --json > "$obs_raw"
 
 # Host metadata stamped into both output files.
 compiler="$(c++ --version 2>/dev/null | head -1 || echo unknown)"
@@ -95,11 +104,11 @@ AB_BENCH_COMPILER="$compiler" AB_BENCH_NATIVE_ARCH="$native_arch" \
 AB_BENCH_CXX_FLAGS="$cxx_flags" AB_BENCH_GIT_SHA="$git_sha" \
 AB_BENCH_NPROC="$ncpu" AB_BENCH_BUILD_TYPE="$build_type" \
 python3 - "$raw" "$seed" "$out" "$solver_out" "$churn_raw" "$churn_seed" \
-  "$fig5_raw" "$scale_raw" <<'EOF'
+  "$fig5_raw" "$scale_raw" "$obs_raw" <<'EOF'
 import json, os, sys
 
 (raw_path, seed_path, out_path, solver_path, churn_path, churn_seed_path,
- fig5_path, scale_path) = sys.argv[1:9]
+ fig5_path, scale_path, obs_path) = sys.argv[1:10]
 after = json.load(open(raw_path))
 host = {
     "compiler": os.environ.get("AB_BENCH_COMPILER", "unknown"),
@@ -196,6 +205,13 @@ solver_doc["fig5"] = fig5
 scale = json.load(open(scale_path))
 solver_doc["scale_ranks"] = scale
 
+# Telemetry overhead ablation (abl_obs_overhead): ms/step with telemetry
+# off, attached-but-quiet, and fully tracing. The attached-vs-off fraction
+# is the zero-cost-off contract number docs/OBSERVABILITY.md quotes;
+# check_bench_regression.py --obs-overhead BENCH_solver.json gates it.
+obs = json.load(open(obs_path))
+solver_doc["obs_overhead"] = obs
+
 json.dump(solver_doc, open(solver_path, "w"), indent=1)
 print(f"wrote {solver_path} ({len(solver)} BM_SolverStep entries)")
 for name, ratio in churn_doc["pool_speedup"].items():
@@ -218,4 +234,7 @@ if pts:
     print(f"  scale_ranks: P={w['npes']} metadata "
           f"{w['dist_rank_bytes'] / 1e3:.1f} KB/rank distributed vs "
           f"{w['global_rank_bytes'] / 1e3:.1f} KB/rank global")
+print(f"  obs_overhead: attached {100 * obs['attached_overhead_frac']:+.2f}%"
+      f" / tracing {100 * obs['tracing_overhead_frac']:+.2f}% vs off"
+      f" ({obs['off_ms_per_step']:.3f} ms/step baseline)")
 EOF

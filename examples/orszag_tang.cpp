@@ -7,6 +7,7 @@
 // scheme's div(B) error.
 //
 //   ./orszag_tang [steps=80] [--trace=FILE] [--report=FILE] [--autotune]
+//                 [--metrics-port=N] [--metrics-dump=FILE]
 //
 // --trace=FILE   collect phase/task spans and write a Chrome trace_event
 //                JSON file (open in chrome://tracing or Perfetto).
@@ -16,15 +17,22 @@
 // --autotune     probe block layouts at startup and run with the fastest
 //                one (cached in .ab_tune.json; see docs/PERFORMANCE.md
 //                "Autotuned layout" and the AB_AUTOTUNE env knob).
+// --metrics-port=N   serve Prometheus-style metric snapshots on
+//                127.0.0.1:N while the run is live (0 = ephemeral port;
+//                `curl localhost:N` to scrape).
+// --metrics-dump=FILE  rewrite FILE (atomically) with a metrics snapshot
+//                every 10 steps and at exit.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "amr/diagnostics.hpp"
 #include "amr/solver.hpp"
 #include "io/output.hpp"
+#include "obs/expose.hpp"
 #include "obs/telemetry.hpp"
 #include "physics/mhd.hpp"
 
@@ -33,12 +41,17 @@ using namespace ab;
 int main(int argc, char** argv) {
   int steps = 80;
   bool autotune = false;
-  std::string trace_path, report_path;
+  int metrics_port = -1;
+  std::string trace_path, report_path, metrics_dump;
   for (int a = 1; a < argc; ++a) {
     if (std::strncmp(argv[a], "--trace=", 8) == 0)
       trace_path = argv[a] + 8;
     else if (std::strncmp(argv[a], "--report=", 9) == 0)
       report_path = argv[a] + 9;
+    else if (std::strncmp(argv[a], "--metrics-port=", 15) == 0)
+      metrics_port = std::atoi(argv[a] + 15);
+    else if (std::strncmp(argv[a], "--metrics-dump=", 15) == 0)
+      metrics_dump = argv[a] + 15;
     else if (std::strcmp(argv[a], "--autotune") == 0)
       autotune = true;
     else
@@ -59,13 +72,24 @@ int main(int argc, char** argv) {
   cfg.autotune = autotune;     // AB_AUTOTUNE=0/1 still overrides
 
   obs::Telemetry tel;
-  const bool observe = !trace_path.empty() || !report_path.empty();
+  const bool observe = !trace_path.empty() || !report_path.empty() ||
+                       metrics_port >= 0 || !metrics_dump.empty();
   if (!trace_path.empty()) tel.trace.set_enabled(true);
   if (!report_path.empty() && !tel.open_report(report_path)) {
     std::fprintf(stderr, "cannot open report file %s\n", report_path.c_str());
     return 1;
   }
   if (observe) cfg.telemetry = &tel;
+  std::unique_ptr<obs::MetricsServer> server;
+  if (metrics_port >= 0) {
+    server = std::make_unique<obs::MetricsServer>(
+        tel.metrics, static_cast<std::uint16_t>(metrics_port));
+    if (server->ok())
+      std::printf("metrics: serving on http://127.0.0.1:%u/\n",
+                  server->port());
+    else
+      std::fprintf(stderr, "cannot bind metrics port %d\n", metrics_port);
+  }
   AmrSolver<2, IdealMhd<2>> solver(cfg, phys);
 
   const tune::TuneDecision& dec = solver.tune_decision();
@@ -117,6 +141,8 @@ int main(int argc, char** argv) {
     }
     solver.step(solver.compute_dt());
     if (i % 4 == 3) solver.adapt(crit);
+    if (!metrics_dump.empty() && i % 10 == 9)
+      obs::dump_metrics(tel.metrics, metrics_dump);
     if (i % 20 == 19) {
       solver.fill_ghosts();
       auto st = solver.forest().stats();
@@ -156,5 +182,12 @@ int main(int argc, char** argv) {
   }
   if (!report_path.empty())
     std::printf("wrote %s (1 record per step)\n", report_path.c_str());
+  if (!metrics_dump.empty()) {
+    if (obs::dump_metrics(tel.metrics, metrics_dump))
+      std::printf("wrote %s (Prometheus text format)\n",
+                  metrics_dump.c_str());
+    else
+      std::fprintf(stderr, "cannot write %s\n", metrics_dump.c_str());
+  }
   return 0;
 }

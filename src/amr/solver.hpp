@@ -589,7 +589,9 @@ class AmrSolver {
       sub_dt_ = dt;
       {
         obs::PhaseScope ps(cfg_.telemetry, "stage_graph");
-        level_graphs_[static_cast<std::size_t>(l)].run(pool_.get());
+        TaskGraph& g = level_graphs_[static_cast<std::size_t>(l)];
+        g.set_parent_span(ps.span_id());
+        g.run(pool_.get());
       }
       account_ghost_level(l);
       flop_counter_.add(static_cast<std::uint64_t>(level_leaves_[l].size()) *
@@ -816,6 +818,7 @@ class AmrSolver {
         if (flux_register_.needs_fluxes(id)) flux_register_.storage(id);
     {
       obs::PhaseScope ps(cfg_.telemetry, "stage_graph");
+      stage_graph_.set_parent_span(ps.span_id());
       stage_graph_.run(pool_.get());
     }
     account_ghost_plan();

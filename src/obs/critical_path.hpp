@@ -1,0 +1,77 @@
+// Per-step happens-before analysis over causally-tagged trace spans.
+//
+// The rank-tagged spans a traced RankSolver run records — per-block
+// compute spans, message send spans, and their parent-linked receive
+// spans — form a happens-before DAG per step: each rank's spans chain in
+// program order, and every receive depends on its matching send (the
+// cross-rank edge the wire context carries). Scheduling that DAG
+// earliest-start reconstructs what the same step would cost on truly
+// concurrent ranks and answers the questions a wall clock cannot: which
+// rank/phase/message chain bounded the step (the critical path), how much
+// of the step each rank spent computing vs waiting on messages vs idle
+// after finishing, and how lopsided the work distribution was (straggler
+// score = max rank busy / mean rank busy).
+//
+// Per rank and step, busy + wait + idle == makespan exactly, so the
+// reported fractions always sum to 1. tools/critical_path.py implements
+// the same reconstruction over the exported Chrome trace; the JSON
+// emitted here ("ab.critical_path.v1") is the machine-readable summary
+// check_bench_regression.py consumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace ab::obs {
+
+/// One rank's decomposition of a step: fractions of the step's makespan
+/// (they sum to 1 per rank by construction).
+struct RankBreakdown {
+  int rank = -1;
+  std::int64_t spans = 0;  ///< rank-tagged spans this step
+  double busy_s = 0.0;     ///< executing compute/send/recv spans
+  double wait_s = 0.0;     ///< blocked on a cross-rank dependency
+  double idle_s = 0.0;     ///< finished before the step's makespan
+  double busy_frac = 0.0;
+  double wait_frac = 0.0;
+  double idle_frac = 0.0;
+};
+
+/// One hop of the bounding chain, root to sink.
+struct CriticalHop {
+  std::string name;
+  std::string cat;
+  int rank = -1;
+  double dur_s = 0.0;
+};
+
+struct StepCriticalPath {
+  std::int64_t step = -1;
+  double makespan_s = 0.0;       ///< earliest-start schedule length
+  double critical_s = 0.0;       ///< sum of chain span durations
+  double straggler = 1.0;        ///< max rank busy / mean rank busy
+  std::vector<CriticalHop> chain;
+  std::vector<RankBreakdown> ranks;
+};
+
+struct CriticalPathReport {
+  std::vector<StepCriticalPath> steps;
+};
+
+/// Reconstruct the per-step DAGs from merged trace events (as returned by
+/// Tracer::events()). Only causally-tagged spans with a rank and step
+/// participate; retransmit ("fault") spans are informational children of
+/// their send and are excluded from the schedule.
+CriticalPathReport analyze_critical_path(const std::vector<TraceEvent>& events);
+
+/// Serialize to the "ab.critical_path.v1" JSON schema.
+std::string critical_path_json(const CriticalPathReport& report);
+
+/// Write critical_path_json to `path` (truncates). False on I/O failure.
+bool write_critical_path_json(const CriticalPathReport& report,
+                              const std::string& path);
+
+}  // namespace ab::obs

@@ -73,27 +73,50 @@ class Telemetry {
 /// RAII solver-phase timer: one span into the tracer (if enabled) plus an
 /// entry in the telemetry's per-step phase accumulator. A null telemetry
 /// costs a single pointer test.
+///
+/// When span collection is on, the scope allocates a span id at
+/// construction so children created inside it (message sends, task spans)
+/// can parent-link to the phase span via span_id(); set_context() tags the
+/// recorded span with its own parent and rank/step attribution.
 class PhaseScope {
  public:
   PhaseScope(Telemetry* tel, const char* name, const char* cat = "phase")
       : tel_(tel),
         name_(name),
         cat_(cat),
-        t0_ns_(tel != nullptr ? tel->trace.now_ns() : 0) {}
+        t0_ns_(tel != nullptr ? tel->trace.now_ns() : 0),
+        id_(tel != nullptr && tel->trace.enabled() ? tel->trace.new_span_id()
+                                                   : 0) {}
   ~PhaseScope() {
     if (tel_ == nullptr) return;
     const std::int64_t t1 = tel_->trace.now_ns();
-    if (tel_->trace.enabled()) tel_->trace.record(name_, cat_, t0_ns_, t1);
+    if (tel_->trace.enabled())
+      tel_->trace.record(obs::TraceEvent{name_, cat_, t0_ns_, t1, 0, id_,
+                                         parent_, rank_, step_});
     tel_->add_phase_time(name_, static_cast<double>(t1 - t0_ns_) * 1e-9);
   }
   PhaseScope(const PhaseScope&) = delete;
   PhaseScope& operator=(const PhaseScope&) = delete;
+
+  /// Span id this scope records under (0 when span collection is off).
+  std::uint64_t span_id() const { return id_; }
+
+  /// Tag the span recorded at destruction with causal context.
+  void set_context(std::uint64_t parent, int rank, std::int64_t step) {
+    parent_ = parent;
+    rank_ = rank;
+    step_ = step;
+  }
 
  private:
   Telemetry* tel_;
   const char* name_;
   const char* cat_;
   std::int64_t t0_ns_;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  int rank_ = -1;
+  std::int64_t step_ = -1;
 };
 
 }  // namespace ab::obs

@@ -28,12 +28,22 @@ namespace ab::obs {
 
 /// One completed span. `name` and `cat` must be string literals (or
 /// otherwise outlive the tracer): events store the pointers only.
+///
+/// The trailing causal fields default to "untagged": a plain phase/task
+/// span carries no span id, no parent, and no rank/step attribution, and
+/// exports exactly as before. Cross-rank message spans (obs/msg_trace.hpp)
+/// and phase scopes that opted in fill them, which is what turns a flat
+/// span soup into a happens-before DAG (obs/critical_path.hpp).
 struct TraceEvent {
   const char* name;
   const char* cat;
   std::int64_t t0_ns;
   std::int64_t t1_ns;
   int tid;
+  std::uint64_t id = 0;      ///< span id (0 = anonymous)
+  std::uint64_t parent = 0;  ///< parent span id (0 = root)
+  int rank = -1;             ///< simulated rank (-1 = untagged)
+  std::int64_t step = -1;    ///< step index (-1 = untagged)
 };
 
 class Tracer {
@@ -57,10 +67,24 @@ class Tracer {
   /// to have checked enabled() (record itself does not).
   void record(const char* name, const char* cat, std::int64_t t0_ns,
               std::int64_t t1_ns) {
+    record(TraceEvent{name, cat, t0_ns, t1_ns, 0});
+  }
+
+  /// Full-context form: `ev.tid` is overwritten with the calling thread's
+  /// slot; every other field (including the causal tags) is stored as
+  /// given.
+  void record(TraceEvent ev) {
     const int slot = this_thread_slot();
+    ev.tid = slot;
     Shard& sh = shards_[static_cast<std::size_t>(slot)];
     std::lock_guard<std::mutex> lk(sh.mu);
-    sh.events.push_back(TraceEvent{name, cat, t0_ns, t1_ns, slot});
+    sh.events.push_back(ev);
+  }
+
+  /// Allocate a fresh nonzero span id (process-unique for this tracer).
+  /// Only called on enabled paths — a disabled tracer allocates nothing.
+  std::uint64_t new_span_id() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Merged copy of all recorded events, sorted by begin time.
@@ -92,6 +116,7 @@ class Tracer {
   };
   std::chrono::steady_clock::time_point epoch_;
   std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_span_id_{1};  // 0 is "anonymous"
   std::array<Shard, kMaxThreadSlots> shards_{};
 };
 

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/ghost.hpp"
+#include "obs/msg_trace.hpp"
 #include "parsim/fault.hpp"
 #include "parsim/rank_accounting.hpp"
 #include "util/error.hpp"
@@ -46,27 +47,62 @@ namespace ab {
 /// round for the cost model.
 class MessageBoard {
  public:
-  void clear() { channels_.clear(); }
+  void clear() {
+    flush_trace();
+    channels_.clear();
+  }
 
   /// Route every subsequent send through `plan`'s lossy wire (nullptr
   /// restores the perfect wire). Faults are injected and recovered at
   /// send time — what lands in the channel is always the clean payload.
   void set_fault_plan(FaultPlan* plan) { faults_ = plan; }
 
+  /// Attach the causal message-trace hook (nullptr detaches). The span
+  /// context rides next to each channel, never inside the double payload,
+  /// so fault-injection RNG draws and CRCs are unchanged.
+  void set_trace(obs::MsgTrace* mt) { trace_ = mt; }
+
+  /// Emit one send/receive span pair per channel that saw traffic since
+  /// the last flush. The board has no intrinsic round-end signal, so the
+  /// owner calls this once per exchange round (clear() also flushes, as a
+  /// backstop) — keeping span counts equal to the pair-aggregated message
+  /// counts add_per_pe_traffic reports.
+  void flush_trace() {
+    if (trace_ == nullptr || !trace_->active()) return;
+    for (auto& [key, ch] : channels_)
+      if (ch.span.sent) trace_->finish(ch.span, key.second);
+  }
+
   /// Append `n` doubles to the (src, dst) channel.
   void send(int src, int dst, const double* data, std::int64_t n) {
     AB_REQUIRE(src != dst, "MessageBoard: no self-messages");
+    obs::MsgTrace* mt =
+        (trace_ != nullptr && n > 0 && trace_->active()) ? trace_ : nullptr;
+    const std::int64_t t0 = mt != nullptr ? mt->now() : 0;
+    const std::int64_t r0 =
+        (mt != nullptr && faults_ != nullptr) ? faults_->stats().retries : 0;
     Channel& ch = channels_[{src, dst}];
     const std::size_t at = ch.data.size();
     ch.data.insert(ch.data.end(), data, data + n);
     if (faults_ != nullptr)
       faults_->transmit(src, dst, ch.data.data() + at,
                         static_cast<std::size_t>(n));
+    if (mt != nullptr) {
+      const std::int64_t t1 = mt->now();
+      mt->add_send(ch.span, src, t0, t1);
+      if (faults_ != nullptr) {
+        const std::int64_t dr = faults_->stats().retries - r0;
+        if (dr > 0) mt->add_retries(ch.span, dr, t0, t1);
+      }
+    }
   }
 
   /// Sequential read of `n` doubles from the (src, dst) channel; reads must
   /// mirror the send order.
   const double* receive(int src, int dst, std::int64_t n) {
+    obs::MsgTrace* mt =
+        (trace_ != nullptr && n > 0 && trace_->active()) ? trace_ : nullptr;
+    const std::int64_t t0 = mt != nullptr ? mt->now() : 0;
     auto it = channels_.find({src, dst});
     AB_REQUIRE(it != channels_.end(), "MessageBoard: no such channel");
     Channel& ch = it->second;
@@ -74,6 +110,7 @@ class MessageBoard {
                "MessageBoard: read past end of channel");
     const double* p = ch.data.data() + ch.read;
     ch.read += static_cast<std::size_t>(n);
+    if (mt != nullptr) mt->add_recv(ch.span, t0, mt->now());
     return p;
   }
 
@@ -113,9 +150,11 @@ class MessageBoard {
   struct Channel {
     std::vector<double> data;
     std::size_t read = 0;
+    obs::MsgSpanState span;
   };
   std::map<std::pair<int, int>, Channel> channels_;
   FaultPlan* faults_ = nullptr;
+  obs::MsgTrace* trace_ = nullptr;
 };
 
 template <int D>
@@ -141,6 +180,13 @@ class BufferedExchange {
   /// Route every cross-PE fill payload through `plan`'s lossy wire
   /// (nullptr restores the perfect wire).
   void set_fault_plan(FaultPlan* plan) { faults_ = plan; }
+
+  /// Attach the causal message-trace hook (nullptr detaches). Every
+  /// cross-PE message of a traced fill becomes one send span (packing +
+  /// wire transmission, retries attributed) and one receive span (unpack)
+  /// parent-linked to it — the same pair aggregation messages_per_fill
+  /// counts. Context bytes never enter the double payload.
+  void set_trace(obs::MsgTrace* mt) { trace_ = mt; }
 
   /// Recompute message layouts after the exchanger was rebuilt or the
   /// partition changed.
@@ -191,6 +237,8 @@ class BufferedExchange {
   /// delivered before any prolongation is evaluated on its sender.
   template <class StoreOf>
   void fill_on(const StoreOf& store_of) {
+    obs::MsgTrace* mt =
+        (trace_ != nullptr && trace_->active()) ? trace_ : nullptr;
     for (int phase = 0; phase < 2; ++phase) {
       // Local ops (src and dst on the same PE by construction).
       for (int i : local_phase_[phase]) {
@@ -199,6 +247,10 @@ class BufferedExchange {
       }
       // Pack every cross-PE message for this phase...
       for (auto& msg : messages_) {
+        const std::int64_t t0 = mt != nullptr ? mt->now() : 0;
+        const std::int64_t r0 = (mt != nullptr && faults_ != nullptr)
+                                    ? faults_->stats().retries
+                                    : 0;
         double* cursor = msg.buffer.data();
         BlockStore<D>& src_store = store_of(msg.src_pe);
         for (int i : msg.phase_ops[phase]) {
@@ -213,10 +265,19 @@ class BufferedExchange {
           faults_->transmit(
               msg.src_pe, msg.dst_pe, msg.buffer.data(),
               static_cast<std::size_t>(cursor - msg.buffer.data()));
+        if (mt != nullptr && cursor != msg.buffer.data()) {
+          const std::int64_t t1 = mt->now();
+          mt->add_send(msg.span, msg.src_pe, t0, t1);
+          if (faults_ != nullptr) {
+            const std::int64_t dr = faults_->stats().retries - r0;
+            if (dr > 0) mt->add_retries(msg.span, dr, t0, t1);
+          }
+        }
       }
       // ...then deliver (unpack). The strict pack-all/unpack-all order is
       // what a bulk-synchronous exchange round does.
       for (auto& msg : messages_) {
+        const std::int64_t t0 = mt != nullptr ? mt->now() : 0;
         const double* cursor = msg.buffer.data();
         BlockStore<D>& dst_store = store_of(msg.dst_pe);
         for (int i : msg.phase_ops[phase]) {
@@ -224,8 +285,14 @@ class BufferedExchange {
           exchanger_->unpack_op(dst_store, op, cursor);
           cursor += exchanger_->op_payload_doubles(op);
         }
+        if (mt != nullptr && cursor != msg.buffer.data())
+          mt->add_recv(msg.span, t0, mt->now());
       }
     }
+    // A message's round spans both phases; emit once per fill — the same
+    // granularity messages_per_fill/add_per_pe_traffic count at.
+    if (mt != nullptr)
+      for (auto& msg : messages_) mt->finish(msg.span, msg.dst_pe);
   }
 
   /// Messages per fill under pair aggregation (both phases of a pair ride
@@ -261,6 +328,7 @@ class BufferedExchange {
     std::vector<int> phase_ops[2];
     std::vector<double> buffer;
     std::int64_t doubles = 0;
+    obs::MsgSpanState span;
   };
 
   int owner_at(int id) const {
@@ -276,6 +344,7 @@ class BufferedExchange {
   std::vector<int> local_phase_[2];
   std::vector<Message> messages_;
   FaultPlan* faults_ = nullptr;
+  obs::MsgTrace* trace_ = nullptr;
 };
 
 }  // namespace ab

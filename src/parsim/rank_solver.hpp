@@ -38,6 +38,7 @@
 #include "amr/flux_register.hpp"
 #include "amr/solver.hpp"
 #include "amr/stage_ops.hpp"
+#include "obs/msg_trace.hpp"
 #include "obs/telemetry.hpp"
 #include "core/bc.hpp"
 #include "core/block_store.hpp"
@@ -133,6 +134,14 @@ class RankSolver {
                "RankSolver: checkpoint_every needs a checkpoint_path");
     buffered_.set_fault_plan(cfg_.faults);
     board_.set_fault_plan(cfg_.faults);
+    if (cfg_.solver.telemetry != nullptr) {
+      // Causal cross-rank tracing: every transport payload carries a span
+      // context stamped at send and joined at receive. Costs nothing while
+      // the tracer is disabled (one flag test per hook).
+      msg_trace_.bind(&cfg_.solver.telemetry->trace);
+      buffered_.set_trace(&msg_trace_);
+      board_.set_trace(&msg_trace_);
+    }
     distmeta_ = resolve_distmeta(cfg_);
     if (distmeta_ && (!CurveMap<D>::supports(cfg_.policy) ||
                       cfg_.solver.forest.max_level_diff != 1)) {
@@ -234,6 +243,9 @@ class RankSolver {
     maybe_auto_checkpoint();
     obs::Telemetry* const tel = cfg_.solver.telemetry;
     const std::int64_t t0 = tel != nullptr ? tel->trace.now_ns() : 0;
+    step_span_ = (tel != nullptr && tel->trace.enabled())
+                     ? tel->trace.new_span_id()
+                     : 0;
     const std::uint64_t updates0 = block_updates_;
     RankStepCost sc;
     sc.imbalance = load_imbalance(owner_, cfg_.npes);
@@ -249,6 +261,7 @@ class RankSolver {
     if (cfg_.solver.rk_stages == 1) {
       {
         obs::PhaseScope ps(tel, "epilogue");
+        tag_phase(ps);
         if (cfg_.solver.apply_positivity_fix)
           for (int id : forest_.leaves()) fix_block(scratch_of(id), id);
         for (int p = 0; p < cfg_.npes; ++p)
@@ -268,6 +281,7 @@ class RankSolver {
         stage2_[static_cast<std::size_t>(owner_at(id))].ensure(id);
       run_stage(scratch_, stage2_, dt, sc);
       obs::PhaseScope ps(tel, "epilogue");
+      tag_phase(ps);
       for (int id : forest_.leaves()) {
         const int pe = owner_at(id);
         heun_combine_half<D, Phys>(
@@ -278,11 +292,15 @@ class RankSolver {
       }
     } else {
       obs::PhaseScope ps(tel, "stage_update");
+      tag_phase(ps);
+      obs::Tracer* const btr =
+          (tel != nullptr && tel->trace.enabled()) ? &tel->trace : nullptr;
       // Each rank's private stage-2 buffer (one block at a time, like the
       // serial path).
       AlignedBuffer tmp(static_cast<std::size_t>(layout_.block_doubles()));
       for (int id : forest_.leaves()) {
         const int pe = owner_at(id);
+        const std::int64_t bt0 = btr != nullptr ? btr->now_ns() : 0;
         const RVec<D> dx = cell_dx(forest_.level(id));
         const std::uint64_t f = fv_block_update_tiled<D, Phys>(
             cfg_.solver.sub_block, layout_,
@@ -296,6 +314,10 @@ class RankSolver {
             ConstBlockView<D>{tmp.data(), &layout_});
         if (cfg_.solver.apply_positivity_fix)
           fix_block(stores_[static_cast<std::size_t>(pe)], id);
+        if (btr != nullptr)
+          btr->record(obs::TraceEvent{"stage_update", "compute", bt0,
+                                      btr->now_ns(), 0, btr->new_span_id(),
+                                      ps.span_id(), pe, step_index_});
       }
       block_updates_ += static_cast<std::uint64_t>(forest_.num_leaves());
     }
@@ -415,6 +437,8 @@ class RankSolver {
   /// data, so per-rank evaluation matches the single-store evaluation.
   template <class Criterion>
   AdaptResult adapt(const Criterion& criterion) {
+    obs::PhaseScope ps(cfg_.solver.telemetry, "regrid", "regrid");
+    if (ps.span_id() != 0) ps.set_context(0, -1, step_index_);
     AdaptResult res;
     std::vector<std::pair<int, AdaptFlag>> flags;
     flags.reserve(forest_.leaves().size());
@@ -469,6 +493,9 @@ class RankSolver {
     };
     RegridCost rc;
     board_.clear();
+    if (msg_trace_.active())
+      msg_trace_.set_context(step_index_, obs::MsgPhase::Gather,
+                             ps.span_id());
     const std::int64_t payload = block_payload_doubles<D>(layout_);
     std::vector<double> buf(static_cast<std::size_t>(payload));
     for (int p : parents) {
@@ -511,6 +538,7 @@ class RankSolver {
     }
     rc.gather_messages = board_.messages();
     rc.gather_bytes = board_.bytes();
+    board_.flush_trace();
 
     if (res.refined || res.coarsened) {
       forest_.rebuild_neighbor_table();
@@ -520,8 +548,12 @@ class RankSolver {
       // block whose owner changed.
       rc.imbalance_before = load_imbalance(owner_, cfg_.npes);
       std::vector<int> fresh = partition_alive();
+      if (msg_trace_.active())
+        msg_trace_.set_context(step_index_, obs::MsgPhase::Migrate,
+                               ps.span_id());
       const MigrationStats ms =
           migrate_blocks<D>(forest_.leaves(), owner_, fresh, stores_, board_);
+      board_.flush_trace();
       for (int id : forest_.leaves()) {
         const int a = owner_at(id);
         const int b = fresh[static_cast<std::size_t>(id)];
@@ -533,7 +565,7 @@ class RankSolver {
       owner_ = std::move(fresh);
       buffered_.set_owner(owner_, cfg_.npes);
       rebuild_rank_structures();
-      if (distmeta_) exchange_topology_deltas(deltas, rc);
+      if (distmeta_) exchange_topology_deltas(deltas, rc, ps.span_id());
       rc.migrated_blocks = ms.blocks;
       rc.migration_messages = ms.messages;
       rc.migration_bytes = ms.bytes;
@@ -703,8 +735,11 @@ class RankSolver {
   /// fault injection composes — and verify the decoded records match.
   void exchange_topology_deltas(
       const std::vector<std::vector<TopoDeltaRecord<D>>>& deltas,
-      RegridCost& rc) {
+      RegridCost& rc, std::uint64_t parent_span = 0) {
     board_.clear();
+    if (msg_trace_.active())
+      msg_trace_.set_context(step_index_, obs::MsgPhase::TopoDelta,
+                             parent_span);
     std::vector<std::vector<double>> packed(
         static_cast<std::size_t>(cfg_.npes));
     for (int p = 0; p < cfg_.npes; ++p) {
@@ -739,6 +774,7 @@ class RankSolver {
     }
     rc.topo_delta_messages = board_.messages();
     rc.topo_delta_bytes = board_.bytes();
+    board_.flush_trace();
     topo_delta_msgs_acc_ += rc.topo_delta_messages;
     topo_delta_bytes_acc_ += rc.topo_delta_bytes;
   }
@@ -750,6 +786,9 @@ class RankSolver {
   void fill_ghosts(std::vector<BlockStore<D>>& s, double t,
                    RankStepCost& sc) {
     obs::PhaseScope ps(cfg_.solver.telemetry, "ghost_exchange");
+    tag_phase(ps);
+    if (ps.span_id() != 0)
+      msg_trace_.set_context(step_index_, obs::MsgPhase::Ghost, ps.span_id());
     buffered_.fill_on([&s](int pe) -> BlockStore<D>& {
       return s[static_cast<std::size_t>(pe)];
     });
@@ -770,9 +809,14 @@ class RankSolver {
                  std::vector<BlockStore<D>>& out, double dt,
                  RankStepCost& sc) {
     obs::PhaseScope ps(cfg_.solver.telemetry, "stage_update");
+    tag_phase(ps);
+    obs::Telemetry* const tel = cfg_.solver.telemetry;
+    obs::Tracer* const btr =
+        (tel != nullptr && tel->trace.enabled()) ? &tel->trace : nullptr;
     const bool fc = cfg_.solver.flux_correction;
     for (int id : forest_.leaves()) {
       const int pe = owner_at(id);
+      const std::int64_t bt0 = btr != nullptr ? btr->now_ns() : 0;
       const RVec<D> dx = cell_dx(forest_.level(id));
       FluxRegister<D>& reg = registers_[static_cast<std::size_t>(pe)];
       FaceFluxStorage<D>* ff =
@@ -785,9 +829,15 @@ class RankSolver {
           nullptr, &kernel_scratch_);
       flops_ += f;
       rank_flops_[static_cast<std::size_t>(pe)] += f;
+      // Per-block compute span on the owning rank: what the critical-path
+      // reconstruction charges as that rank's useful work.
+      if (btr != nullptr)
+        btr->record(obs::TraceEvent{"stage_update", "compute", bt0,
+                                    btr->now_ns(), 0, btr->new_span_id(),
+                                    ps.span_id(), pe, step_index_});
     }
     block_updates_ += static_cast<std::uint64_t>(forest_.num_leaves());
-    if (fc) exchange_and_apply_corrections(out, dt, sc);
+    if (fc) exchange_and_apply_corrections(out, dt, sc, ps.span_id());
   }
 
   /// Distributed refluxing round: every fine-side average is evaluated on
@@ -797,11 +847,14 @@ class RankSolver {
   /// order (two faces of one coarse block can overlap in a corner cell,
   /// so the order is part of the bitwise contract).
   void exchange_and_apply_corrections(std::vector<BlockStore<D>>& out,
-                                      double dt, RankStepCost& sc) {
+                                      double dt, RankStepCost& sc,
+                                      std::uint64_t parent_span = 0) {
     // Every rank's register rebuilds from the same exchanger plan, so the
     // correction lists are identical; use rank 0's as the shared plan.
     const auto& plan = registers_.front().corrections();
     board_.clear();
+    if (msg_trace_.active())
+      msg_trace_.set_context(step_index_, obs::MsgPhase::Flux, parent_span);
     std::vector<std::vector<double>> favg(plan.size());
     for (std::size_t i = 0; i < plan.size(); ++i) {
       const auto& c = plan[i];
@@ -831,6 +884,7 @@ class RankSolver {
     sc.flux_messages += board_.messages();
     sc.flux_bytes += board_.bytes();
     board_.add_per_pe_traffic(sc.per_rank);
+    board_.flush_trace();
   }
 
   void fix_block(BlockStore<D>& s, int id) {
@@ -849,7 +903,18 @@ class RankSolver {
     totals_.add(sc);
     obs::Telemetry* const tel = cfg_.solver.telemetry;
     if (tel != nullptr) emit_step_telemetry(tel, sc, dt, t0, updates0);
+    if (tel != nullptr && tel->trace.enabled() && step_span_ != 0)
+      tel->trace.record(obs::TraceEvent{"step", "step", t0,
+                                        tel->trace.now_ns(), 0, step_span_, 0,
+                                        -1, step_index_});
+    step_span_ = 0;
     ++step_index_;
+  }
+
+  /// Tag a phase span as a child of the in-flight step span (no-op when
+  /// span collection is off or outside a step).
+  void tag_phase(obs::PhaseScope& ps) {
+    if (ps.span_id() != 0) ps.set_context(step_span_, -1, step_index_);
   }
 
   /// Publish the step's traffic/imbalance through the metrics registry and
@@ -997,6 +1062,10 @@ class RankSolver {
   std::vector<int> owner_;  ///< node id -> rank (-1 for non-leaves)
   BufferedExchange<D> buffered_;
   MessageBoard board_;
+  /// Cross-rank causal message tracing (bound to the telemetry's tracer at
+  /// construction; inert while the tracer is disabled).
+  obs::MsgTrace msg_trace_;
+  std::uint64_t step_span_ = 0;  ///< span id of the in-flight step (0 = none)
   std::vector<BlockStore<D>> stores_;   ///< one private store per rank
   std::vector<BlockStore<D>> scratch_;  ///< per-rank stage-1 result
   std::vector<BlockStore<D>> stage2_;   ///< per-rank stage-2 (refluxing only)

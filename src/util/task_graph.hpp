@@ -82,6 +82,13 @@ class TaskGraph {
     trace_label_ = label;
   }
 
+  /// Parent-link every span the next run() records to `span` (0 — the
+  /// default — restores anonymous spans). The owner sets this from the
+  /// enclosing phase span each stage, so stolen tasks stay attached to
+  /// the phase that spawned them in the causal trace. Set it before run()
+  /// from the stepping thread only.
+  void set_parent_span(std::uint64_t span) { parent_span_ = span; }
+
   /// Select the threaded drain strategy (default SharedRing). Safe to call
   /// between runs; has no effect on the serial path.
   void set_mode(Mode m) { mode_ = m; }
@@ -161,13 +168,13 @@ class TaskGraph {
               id = slot.load(std::memory_order_acquire);
             }
             if (tr != nullptr)
-              tr->record("ready_stall", "stall", w0, tr->now_ns());
+              record_span(tr, "ready_stall", "stall", w0);
           }
           Task& t = tasks_[static_cast<std::size_t>(id)];
           if (tr != nullptr) {
             const std::int64_t t0 = tr->now_ns();
             t.fn();
-            tr->record(trace_label_, "task", t0, tr->now_ns());
+            record_span(tr, trace_label_, "task", t0);
           } else {
             t.fn();
           }
@@ -226,7 +233,7 @@ class TaskGraph {
             if (tr != nullptr) {
               const std::int64_t t0 = tr->now_ns();
               t.fn();
-              tr->record(trace_label_, "task", t0, tr->now_ns());
+              record_span(tr, trace_label_, "task", t0);
             } else {
               t.fn();
             }
@@ -269,7 +276,7 @@ class TaskGraph {
               epoch.wait(e, std::memory_order_acquire);
             }
             if (tr != nullptr)
-              tr->record("ready_stall", "stall", w0, tr->now_ns());
+              record_span(tr, "ready_stall", "stall", w0);
             if (id >= 0) run_one(id);
           }
         },
@@ -288,7 +295,7 @@ class TaskGraph {
       if (tr != nullptr) {
         const std::int64_t t0 = tr->now_ns();
         t.fn();
-        tr->record(trace_label_, "task", t0, tr->now_ns());
+        record_span(tr, trace_label_, "task", t0);
       } else {
         t.fn();
       }
@@ -301,6 +308,20 @@ class TaskGraph {
                "TaskGraph::run: dependency cycle");
   }
 
+  /// Close a span ending now: anonymous when no parent is set (the
+  /// historical layout), causally tagged with a fresh id otherwise.
+  /// parent_span_ is written before run() and only read during it, so
+  /// worker threads race-freely share it.
+  void record_span(obs::Tracer* tr, const char* name, const char* cat,
+                   std::int64_t t0) {
+    if (parent_span_ == 0) {
+      tr->record(name, cat, t0, tr->now_ns());
+      return;
+    }
+    tr->record(obs::TraceEvent{name, cat, t0, tr->now_ns(), 0,
+                               tr->new_span_id(), parent_span_, -1, -1});
+  }
+
   std::vector<Task> tasks_;
   std::vector<std::atomic<int>> remaining_;
   std::vector<std::atomic<int>> slots_;    // SharedRing ready slots
@@ -308,6 +329,7 @@ class TaskGraph {
   Mode mode_ = Mode::SharedRing;
   obs::Tracer* tracer_ = nullptr;
   const char* trace_label_ = "task";
+  std::uint64_t parent_span_ = 0;
 };
 
 }  // namespace ab

@@ -1,0 +1,142 @@
+// Earliest-start critical-path reconstruction over synthetic causal spans:
+// known DAGs with hand-computable makespans, waits, and bounding chains.
+#include "obs/critical_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "support/mini_json.hpp"
+
+namespace ab::obs {
+namespace {
+
+// Span shorthand: all times in nanoseconds (1000 ns = 1e-6 s).
+TraceEvent span(const char* name, const char* cat, std::int64_t t0,
+                std::int64_t t1, std::uint64_t id, std::uint64_t parent,
+                int rank, std::int64_t step) {
+  return TraceEvent{name, cat, t0, t1, 0, id, parent, rank, step};
+}
+
+TEST(CriticalPath, ComputeBoundStepBacktracksThroughTheSlowRank) {
+  // Rank 0 sends quickly; rank 1 computes for 3 us then unpacks the
+  // receive for 0.5 us. The bound is rank 1's compute, not the message.
+  std::vector<TraceEvent> evs = {
+      span("ghost_exchange", "send", 0, 1000, 1, 0, 0, 0),
+      span("stage_update", "compute", 0, 3000, 2, 0, 1, 0),
+      span("ghost_exchange", "recv", 3000, 3500, 3, 1, 1, 0),
+      // Untagged and out-of-step spans must not participate.
+      TraceEvent{"task", "task", 0, 99000, 0},
+      span("retransmit", "fault", 0, 900, 9, 1, 0, 0),
+  };
+  const CriticalPathReport rep = analyze_critical_path(evs);
+  ASSERT_EQ(rep.steps.size(), 1u);
+  const StepCriticalPath& s = rep.steps[0];
+  EXPECT_EQ(s.step, 0);
+  EXPECT_DOUBLE_EQ(s.makespan_s, 3.5e-6);
+  // Chain: rank 1 compute -> rank 1 recv (the recv's binding predecessor
+  // is same-rank program order, which finished after the cross-rank send).
+  ASSERT_EQ(s.chain.size(), 2u);
+  EXPECT_EQ(s.chain[0].cat, "compute");
+  EXPECT_EQ(s.chain[0].rank, 1);
+  EXPECT_EQ(s.chain[1].cat, "recv");
+  EXPECT_DOUBLE_EQ(s.critical_s, 3.5e-6);
+  // straggler = max busy / mean busy = 3.5 / ((1.0 + 3.5) / 2).
+  EXPECT_NEAR(s.straggler, 3.5 / 2.25, 1e-12);
+
+  ASSERT_EQ(s.ranks.size(), 2u);
+  const RankBreakdown& r0 = s.ranks[0];
+  const RankBreakdown& r1 = s.ranks[1];
+  EXPECT_EQ(r0.rank, 0);
+  EXPECT_EQ(r0.spans, 1);  // the fault span is excluded
+  EXPECT_DOUBLE_EQ(r0.busy_s, 1.0e-6);
+  EXPECT_DOUBLE_EQ(r0.wait_s, 0.0);
+  EXPECT_DOUBLE_EQ(r0.idle_s, 2.5e-6);
+  EXPECT_EQ(r1.spans, 2);
+  EXPECT_DOUBLE_EQ(r1.busy_s, 3.5e-6);
+  EXPECT_DOUBLE_EQ(r1.idle_s, 0.0);
+  // busy + wait + idle == makespan, i.e. the fractions sum to 1.
+  for (const RankBreakdown& r : s.ranks) {
+    EXPECT_NEAR(r.busy_s + r.wait_s + r.idle_s, s.makespan_s, 1e-15);
+    EXPECT_NEAR(r.busy_frac + r.wait_frac + r.idle_frac, 1.0, 1e-12);
+  }
+}
+
+TEST(CriticalPath, ReceiverBlockedOnSendAccruesWait) {
+  // Rank 1 does nothing but wait for rank 0's 2 us send, then unpacks for
+  // 0.5 us: its schedule is wait 2 us + busy 0.5 us.
+  std::vector<TraceEvent> evs = {
+      span("ghost_exchange", "send", 0, 2000, 1, 0, 0, 4),
+      span("ghost_exchange", "recv", 2000, 2500, 2, 1, 1, 4),
+  };
+  const CriticalPathReport rep = analyze_critical_path(evs);
+  ASSERT_EQ(rep.steps.size(), 1u);
+  const StepCriticalPath& s = rep.steps[0];
+  EXPECT_DOUBLE_EQ(s.makespan_s, 2.5e-6);
+  ASSERT_EQ(s.ranks.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.ranks[1].wait_s, 2.0e-6);  // blocked on the send
+  EXPECT_DOUBLE_EQ(s.ranks[1].busy_s, 0.5e-6);
+  EXPECT_DOUBLE_EQ(s.ranks[1].idle_s, 0.0);
+  // The bounding chain crosses the rank boundary: send -> recv.
+  ASSERT_EQ(s.chain.size(), 2u);
+  EXPECT_EQ(s.chain[0].rank, 0);
+  EXPECT_EQ(s.chain[0].cat, "send");
+  EXPECT_EQ(s.chain[1].rank, 1);
+  EXPECT_EQ(s.chain[1].cat, "recv");
+}
+
+TEST(CriticalPath, StepsAnalyzeIndependently) {
+  std::vector<TraceEvent> evs = {
+      span("stage_update", "compute", 0, 1000, 1, 0, 0, 0),
+      span("stage_update", "compute", 5000, 9000, 2, 0, 0, 1),
+  };
+  const CriticalPathReport rep = analyze_critical_path(evs);
+  ASSERT_EQ(rep.steps.size(), 2u);
+  EXPECT_EQ(rep.steps[0].step, 0);
+  EXPECT_DOUBLE_EQ(rep.steps[0].makespan_s, 1.0e-6);
+  EXPECT_EQ(rep.steps[1].step, 1);
+  // Schedules start at 0 per step: wall-clock gaps between steps are not
+  // makespan.
+  EXPECT_DOUBLE_EQ(rep.steps[1].makespan_s, 4.0e-6);
+}
+
+TEST(CriticalPath, EmptyTraceYieldsEmptyReport) {
+  const CriticalPathReport rep = analyze_critical_path({});
+  EXPECT_TRUE(rep.steps.empty());
+  const std::string json = critical_path_json(rep);
+  testjson::Value doc;
+  ASSERT_TRUE(testjson::parse(json, doc)) << json;
+  EXPECT_TRUE(doc.find("steps")->arr.empty());
+}
+
+TEST(CriticalPathJson, EmitsTheV1SchemaAndRoundTrips) {
+  std::vector<TraceEvent> evs = {
+      span("ghost_exchange", "send", 0, 2000, 1, 0, 0, 7),
+      span("ghost_exchange", "recv", 2000, 2500, 2, 1, 1, 7),
+  };
+  const std::string json =
+      critical_path_json(analyze_critical_path(evs));
+  testjson::Value doc;
+  ASSERT_TRUE(testjson::parse(json, doc)) << json;
+  EXPECT_EQ(doc.find("schema")->str, "ab.critical_path.v1");
+  const testjson::Value& steps = *doc.find("steps");
+  ASSERT_TRUE(steps.is_array());
+  ASSERT_EQ(steps.arr.size(), 1u);
+  const testjson::Value& s = steps.arr[0];
+  EXPECT_EQ(s.find("step")->number, 7.0);
+  // %.9g + strtod round-trip: exact to well below a nanosecond.
+  EXPECT_NEAR(s.find("makespan_s")->number, 2.5e-6, 1e-12);
+  ASSERT_EQ(s.find("critical_path")->arr.size(), 2u);
+  const testjson::Value& ranks = *s.find("ranks");
+  ASSERT_EQ(ranks.arr.size(), 2u);
+  for (const testjson::Value& r : ranks.arr) {
+    const double sum = r.find("busy_frac")->number +
+                       r.find("wait_frac")->number +
+                       r.find("idle_frac")->number;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace ab::obs

@@ -1,0 +1,151 @@
+// Span-context wire codec and the MsgTrace transport hook: the 29-byte
+// out-of-band context must round-trip bit-exactly, and a message round
+// must emit exactly one parent-linked send/receive span pair (plus a
+// retransmit child when the wire forced retries).
+#include "obs/msg_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+
+#include "obs/trace.hpp"
+
+namespace ab::obs {
+namespace {
+
+TEST(SpanContextCodec, RoundTripsAllFields) {
+  for (const SpanContext c :
+       {SpanContext{},
+        SpanContext{1, 2, 3, 4, MsgPhase::Ghost},
+        SpanContext{std::numeric_limits<std::uint64_t>::max(),
+                    std::numeric_limits<std::uint64_t>::max(),
+                    std::numeric_limits<std::int32_t>::min(),
+                    std::numeric_limits<std::int64_t>::min(),
+                    MsgPhase::TopoDelta},
+        SpanContext{0x0123456789abcdefull, 0xfedcba9876543210ull, -1, -1,
+                    MsgPhase::Migrate}}) {
+    std::uint8_t wire[kSpanContextBytes];
+    encode_span_context(c, wire);
+    EXPECT_TRUE(decode_span_context(wire) == c);
+  }
+}
+
+TEST(SpanContextCodec, WireLayoutIsLittleEndianAndPinned) {
+  SpanContext c;
+  c.trace_id = 0x0102030405060708ull;
+  c.span_id = 0x1112131415161718ull;
+  c.rank = 0x21222324;
+  c.step = 0x3132333435363738ll;
+  c.phase = MsgPhase::Flux;
+  std::uint8_t wire[kSpanContextBytes];
+  encode_span_context(c, wire);
+  const std::uint8_t expect[kSpanContextBytes] = {
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,  // trace_id LE
+      0x18, 0x17, 0x16, 0x15, 0x14, 0x13, 0x12, 0x11,  // span_id LE
+      0x24, 0x23, 0x22, 0x21,                          // rank LE
+      0x38, 0x37, 0x36, 0x35, 0x34, 0x33, 0x32, 0x31,  // step LE
+      0x01,                                            // MsgPhase::Flux
+  };
+  EXPECT_EQ(std::memcmp(wire, expect, kSpanContextBytes), 0);
+}
+
+TEST(MsgPhaseNames, MapToStableSpanNames) {
+  EXPECT_STREQ(msg_phase_name(MsgPhase::Ghost), "ghost_exchange");
+  EXPECT_STREQ(msg_phase_name(MsgPhase::Flux), "flux_correction");
+  EXPECT_STREQ(msg_phase_name(MsgPhase::Gather), "coarsen_gather");
+  EXPECT_STREQ(msg_phase_name(MsgPhase::Migrate), "migration");
+  EXPECT_STREQ(msg_phase_name(MsgPhase::TopoDelta), "topo_delta");
+  EXPECT_STREQ(msg_phase_name(MsgPhase::Other), "message");
+}
+
+TEST(MsgTrace, UnboundOrDisabledIsInactive) {
+  MsgTrace mt;
+  EXPECT_FALSE(mt.active());
+  Tracer tr;  // disabled by default
+  mt.bind(&tr);
+  EXPECT_FALSE(mt.active());
+  tr.set_enabled(true);
+  EXPECT_TRUE(mt.active());
+  mt.bind(nullptr);
+  EXPECT_FALSE(mt.active());
+}
+
+TEST(MsgTrace, EachBindStartsAFreshTraceId) {
+  Tracer tr;
+  MsgTrace a, b;
+  a.bind(&tr);
+  b.bind(&tr);
+  EXPECT_NE(a.trace_id(), 0u);
+  EXPECT_NE(a.trace_id(), b.trace_id());
+}
+
+TEST(MsgTrace, RoundEmitsParentLinkedSendRecvPair) {
+  Tracer tr;
+  tr.set_enabled(true);
+  MsgTrace mt;
+  mt.bind(&tr);
+  mt.set_context(/*step=*/5, MsgPhase::Ghost, /*parent_span=*/77);
+
+  MsgSpanState st;
+  // Two send windows (the two fill phases of one message): one span.
+  mt.add_send(st, /*src_rank=*/2, 100, 200);
+  mt.add_send(st, /*src_rank=*/2, 300, 400);
+  mt.add_recv(st, 500, 600);
+  mt.finish(st, /*dst_rank=*/4);
+  EXPECT_FALSE(st.sent);  // reset for the next round
+
+  const auto events = tr.events();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent& send = events[0];
+  const TraceEvent& recv = events[1];
+  EXPECT_STREQ(send.cat, "send");
+  EXPECT_STREQ(send.name, "ghost_exchange");
+  EXPECT_EQ(send.t0_ns, 100);
+  EXPECT_EQ(send.t1_ns, 400);  // window extended by the second phase
+  EXPECT_EQ(send.parent, 77u);
+  EXPECT_EQ(send.rank, 2);
+  EXPECT_EQ(send.step, 5);
+  EXPECT_STREQ(recv.cat, "recv");
+  EXPECT_STREQ(recv.name, "ghost_exchange");
+  EXPECT_EQ(recv.parent, send.id);  // the cross-rank edge
+  EXPECT_EQ(recv.rank, 4);
+  EXPECT_EQ(recv.step, 5);
+  EXPECT_NE(recv.id, send.id);
+}
+
+TEST(MsgTrace, RetriesEmitAFaultChildOfTheSend) {
+  Tracer tr;
+  tr.set_enabled(true);
+  MsgTrace mt;
+  mt.bind(&tr);
+  mt.set_context(1, MsgPhase::Flux, 0);
+
+  MsgSpanState st;
+  mt.add_send(st, 0, 10, 20);
+  mt.add_retries(st, 2, 12, 18);
+  mt.finish(st, 1);
+
+  const auto events = tr.events();
+  ASSERT_EQ(events.size(), 2u);  // send + retransmit (no recv reported)
+  const TraceEvent& send = events[0];
+  const TraceEvent& fault = events[1];
+  EXPECT_STREQ(send.cat, "send");
+  EXPECT_STREQ(fault.cat, "fault");
+  EXPECT_STREQ(fault.name, "retransmit");
+  EXPECT_EQ(fault.parent, send.id);
+  EXPECT_EQ(fault.rank, send.rank);
+}
+
+TEST(MsgTrace, FinishWithoutSendEmitsNothing) {
+  Tracer tr;
+  tr.set_enabled(true);
+  MsgTrace mt;
+  mt.bind(&tr);
+  MsgSpanState st;
+  mt.finish(st, 3);
+  EXPECT_TRUE(tr.events().empty());
+}
+
+}  // namespace
+}  // namespace ab::obs

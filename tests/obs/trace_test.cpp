@@ -87,6 +87,78 @@ TEST(ChromeTraceJson, RoundTripsThroughParser) {
   }
 }
 
+TEST(ChromeTraceJson, EscapesHostileNamesAndRoundTrips) {
+  Tracer tr;
+  tr.set_enabled(true);
+  // Quotes, backslashes, raw control characters: all must survive the
+  // exporter's escaping and parse back to the original bytes.
+  static const char* kEvil = "ev\"il\\na\nme\t\x01" "end";
+  static const char* kEvilCat = "c\"a\\t";
+  const std::int64_t t0 = tr.now_ns();
+  tr.record(kEvil, kEvilCat, t0, t0 + 1000);
+  const std::string json = chrome_trace_json(tr);
+
+  testjson::Value doc;
+  ASSERT_TRUE(testjson::parse(json, doc)) << json;
+  ASSERT_TRUE(doc.is_array());
+  ASSERT_EQ(doc.arr.size(), 1u);
+  EXPECT_EQ(doc.arr[0].find("name")->str, kEvil);
+  EXPECT_EQ(doc.arr[0].find("cat")->str, kEvilCat);
+}
+
+TEST(ChromeTraceJson, RankTaggedSpansGetLanesAndCausalArgs) {
+  Tracer tr;
+  tr.set_enabled(true);
+  const std::int64_t t0 = tr.now_ns();
+  // One untagged span (legacy form) plus a tagged send/recv pair on two
+  // ranks.
+  tr.record("task", "task", t0, t0 + 100);
+  const std::uint64_t send_id = tr.new_span_id();
+  const std::uint64_t recv_id = tr.new_span_id();
+  tr.record(TraceEvent{"ghost_exchange", "send", t0, t0 + 500, 0, send_id,
+                       0, /*rank=*/0, /*step=*/3});
+  tr.record(TraceEvent{"ghost_exchange", "recv", t0 + 500, t0 + 900, 0,
+                       recv_id, send_id, /*rank=*/2, /*step=*/3});
+  const std::string json = chrome_trace_json(tr);
+
+  testjson::Value doc;
+  ASSERT_TRUE(testjson::parse(json, doc)) << json;
+  ASSERT_TRUE(doc.is_array());
+  // 3 spans + one process_name metadata record per tagged rank lane.
+  ASSERT_EQ(doc.arr.size(), 5u);
+  int meta = 0, tagged = 0;
+  for (const testjson::Value& e : doc.arr) {
+    if (e.find("ph")->str == "M") {
+      EXPECT_EQ(e.find("name")->str, "process_name");
+      EXPECT_GE(e.find("pid")->number, 1.0);  // lanes are rank + 1
+      ++meta;
+      continue;
+    }
+    const testjson::Value* args = e.find("args");
+    if (e.find("name")->str == "task") {
+      EXPECT_EQ(e.find("pid")->number, 0.0);  // untagged: legacy lane
+      EXPECT_EQ(args, nullptr);               // and no args block
+      continue;
+    }
+    ASSERT_NE(args, nullptr);
+    EXPECT_EQ(args->find("step")->number, 3.0);
+    ++tagged;
+    if (e.find("cat")->str == "send") {
+      EXPECT_EQ(e.find("pid")->number, 1.0);  // rank 0 -> lane 1
+      EXPECT_EQ(args->find("id")->number, static_cast<double>(send_id));
+      EXPECT_EQ(args->find("parent")->number, 0.0);
+    } else {
+      EXPECT_EQ(e.find("cat")->str, "recv");
+      EXPECT_EQ(e.find("pid")->number, 3.0);  // rank 2 -> lane 3
+      EXPECT_EQ(args->find("id")->number, static_cast<double>(recv_id));
+      EXPECT_EQ(args->find("parent")->number,
+                static_cast<double>(send_id));
+    }
+  }
+  EXPECT_EQ(meta, 2);  // ranks 0 and 2
+  EXPECT_EQ(tagged, 2);
+}
+
 TEST(ChromeTraceJson, EmptyTracerIsEmptyArray) {
   Tracer tr;
   testjson::Value doc;

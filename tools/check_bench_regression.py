@@ -10,11 +10,20 @@ Two modes:
   # wrapper run_benchmarks.sh writes):
   tools/check_bench_regression.py --current BENCH_kernels.json
 
+  # Gate the telemetry zero-cost-off contract (BENCH_solver.json wrapper
+  # or raw abl_obs_overhead --json output):
+  tools/check_bench_regression.py --obs-overhead BENCH_solver.json
+
 Exit status is 1 when any benchmark present in both files is slower than
 seed by more than --threshold (a ratio: 1.5 means "fails below 1/1.5 of the
 seed items/second"). Benchmarks missing on either side are reported but do
 not fail the check, and the seed context's compiler/flags are echoed so
 cross-configuration comparisons are visible for what they are.
+
+--obs-overhead additionally (or standalone) asserts that attaching a quiet
+Telemetry to the rank solver costs no more than --obs-overhead-max (default
+2%) over running with telemetry == nullptr; the full-tracing figure is
+echoed but not gated.
 """
 
 import argparse
@@ -91,13 +100,58 @@ def run_benchmarks(binary, bench_filter, repetitions):
     return doc.get("benchmarks", []), doc.get("context", {}), None
 
 
+def check_obs_overhead(path, max_frac):
+    """Zero-cost-off gate: the 'attached' (telemetry bound, trace off)
+    ms/step must stay within max_frac of the 'off' (telemetry == nullptr)
+    baseline. Accepts the BENCH_solver.json wrapper or raw
+    abl_obs_overhead --json output. Returns 0 on pass, 1 on fail."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        sys.exit(f"error: cannot read obs-overhead file {path}: "
+                 f"{e.strerror or e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: obs-overhead file {path} is not valid JSON "
+                 f"(line {e.lineno}: {e.msg})")
+    obs = doc.get("obs_overhead", doc) if isinstance(doc, dict) else None
+    if not isinstance(obs, dict) or "attached_overhead_frac" not in obs:
+        sys.exit(f"error: {path} has no obs_overhead section (expected "
+                 "BENCH_solver.json from bench/run_benchmarks.sh or raw "
+                 "abl_obs_overhead --json output)")
+    attached = obs["attached_overhead_frac"]
+    tracing = obs.get("tracing_overhead_frac")
+    print(f"obs overhead: off {obs.get('off_ms_per_step', float('nan')):.3f} "
+          f"ms/step, attached {100 * attached:+.2f}%"
+          + (f", tracing {100 * tracing:+.2f}%" if tracing is not None else ""))
+    if attached > max_frac:
+        print(f"FAIL: quiet telemetry costs {100 * attached:.2f}% over the "
+              f"telemetry-off path (gate: {100 * max_frac:.1f}%) — the "
+              "zero-cost-off contract is broken")
+        return 1
+    print(f"OK: off-path telemetry overhead within {100 * max_frac:.1f}%")
+    return 0
+
+
 def main():
     p = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
     )
-    src = p.add_mutually_exclusive_group(required=True)
+    src = p.add_mutually_exclusive_group(required=False)
     src.add_argument("--bench-binary", help="bench_kernels binary to run")
     src.add_argument("--current", help="existing benchmark JSON to compare")
+    p.add_argument(
+        "--obs-overhead",
+        metavar="JSON",
+        help="BENCH_solver.json (or raw abl_obs_overhead --json output): "
+        "gate the telemetry attached-vs-off overhead",
+    )
+    p.add_argument(
+        "--obs-overhead-max",
+        type=float,
+        default=0.02,
+        help="max allowed attached-vs-off overhead fraction (default 0.02)",
+    )
     p.add_argument(
         "--seed",
         default=os.path.join(REPO_ROOT, "bench", "BENCH_kernels_seed.json"),
@@ -123,6 +177,19 @@ def main():
     args = p.parse_args()
     if args.threshold <= 1.0:
         p.error("--threshold must be > 1.0")
+    if not (args.bench_binary or args.current or args.obs_overhead):
+        p.error("one of --bench-binary, --current, or --obs-overhead "
+                "is required")
+    if args.obs_overhead_max <= 0:
+        p.error("--obs-overhead-max must be > 0")
+
+    obs_status = 0
+    if args.obs_overhead:
+        obs_status = check_obs_overhead(args.obs_overhead,
+                                        args.obs_overhead_max)
+        if not (args.bench_binary or args.current):
+            return obs_status
+        print()
 
     seed_benches, seed_ctx, seed_bt = load_benchmarks(args.seed, "seed baseline")
     if args.bench_binary:
@@ -193,7 +260,7 @@ def main():
             print(f"  {name}: {ratio:.2f}x of seed throughput")
         return 1
     print(f"\nOK: {len(common)} benchmark(s) within {args.threshold:.2f}x of seed")
-    return 0
+    return obs_status
 
 
 if __name__ == "__main__":

@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Per-step critical-path analysis over an exported Chrome trace.
+
+Mirrors src/obs/critical_path.cpp: rank-tagged spans (pid >= 1, causal
+"args" with span id/parent/step) form a happens-before DAG per step —
+program order within a rank, send->recv edges across ranks — which an
+earliest-start schedule turns into the step's makespan, the bounding
+rank/phase chain, a per-rank busy/wait/idle decomposition (fractions sum
+to 100% of the makespan per rank), and a straggler score.
+
+Usage:
+  critical_path.py trace.json             # human-readable per-step summary
+  critical_path.py trace.json --json out.json   # ab.critical_path.v1
+  critical_path.py trace.json --step 3    # one step only
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"critical_path.py: error: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_tagged_events(path):
+    """Causally-tagged spans from a Chrome trace: (step, rank, name, cat,
+    ts, dur, id, parent), durations in microseconds."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+    if isinstance(doc, dict) and isinstance(doc.get("traceEvents"), list):
+        doc = doc["traceEvents"]
+    if not isinstance(doc, list):
+        fail(f"{path}: expected a Chrome trace event array")
+    events = []
+    for ev in doc:
+        if not isinstance(ev, dict) or ev.get("ph") != "X":
+            continue
+        args = ev.get("args")
+        if not isinstance(args, dict) or "id" not in args:
+            continue
+        pid = ev.get("pid", 0)
+        step = args.get("step", -1)
+        if pid < 1 or step < 0:
+            continue  # untagged lane or out-of-step span
+        if ev.get("cat") == "fault":
+            continue  # retransmits are children of their send, not work
+        events.append(
+            {
+                "step": step,
+                "rank": pid - 1,
+                "name": ev.get("name", "?"),
+                "cat": ev.get("cat", "?"),
+                "ts": ev.get("ts", 0.0),
+                "dur": ev.get("dur", 0.0),
+                "id": args["id"],
+                "parent": args.get("parent", 0),
+            }
+        )
+    return events
+
+
+def analyze_step(step, evs):
+    """Earliest-start schedule of one step's DAG (mirrors analyze_step in
+    src/obs/critical_path.cpp)."""
+    evs = sorted(evs, key=lambda e: e["ts"])  # topological: serial ranks
+    by_id, last_on_rank = {}, {}
+    nodes = []
+    for e in evs:
+        n = {
+            "ev": e,
+            "dur": e["dur"] * 1e-6,  # us -> s
+            "prev": last_on_rank.get(e["rank"], -1),
+            "parent": -1,
+        }
+        if e["cat"] == "recv" and e["parent"] in by_id:
+            n["parent"] = by_id[e["parent"]]
+        idx = len(nodes)
+        last_on_rank[e["rank"]] = idx
+        by_id[e["id"]] = idx
+        nodes.append(n)
+    sink = -1
+    for i, n in enumerate(nodes):
+        ready = 0.0
+        if n["prev"] >= 0:
+            ready = nodes[n["prev"]]["finish"]
+        if n["parent"] >= 0:
+            ready = max(ready, nodes[n["parent"]]["finish"])
+        n["start"] = ready
+        n["finish"] = ready + n["dur"]
+        if sink < 0 or n["finish"] > nodes[sink]["finish"]:
+            sink = i
+    makespan = nodes[sink]["finish"] if sink >= 0 else 0.0
+    ranks = {}
+    for n in nodes:
+        r = ranks.setdefault(
+            n["ev"]["rank"],
+            {"rank": n["ev"]["rank"], "spans": 0, "busy_s": 0.0},
+        )
+        r["spans"] += 1
+        r["busy_s"] += n["dur"]
+    for rank, idx in last_on_rank.items():
+        r = ranks[rank]
+        fin = nodes[idx]["finish"]
+        r["wait_s"] = fin - r["busy_s"]
+        r["idle_s"] = makespan - fin
+        for k in ("busy", "wait", "idle"):
+            r[f"{k}_frac"] = r[f"{k}_s"] / makespan if makespan > 0 else 0.0
+    busy = [r["busy_s"] for r in ranks.values()]
+    straggler = max(busy) / (sum(busy) / len(busy)) if busy and sum(busy) else 1.0
+    chain = []
+    i = sink
+    while i >= 0:
+        chain.append(i)
+        n = nodes[i]
+        preds = [p for p in (n["prev"], n["parent"]) if p >= 0]
+        if not preds or n["start"] == 0.0:
+            break
+        i = max(preds, key=lambda p: nodes[p]["finish"])
+    chain.reverse()
+    hops = [
+        {
+            "rank": nodes[i]["ev"]["rank"],
+            "name": nodes[i]["ev"]["name"],
+            "cat": nodes[i]["ev"]["cat"],
+            "dur_s": nodes[i]["dur"],
+        }
+        for i in chain
+    ]
+    return {
+        "step": step,
+        "makespan_s": makespan,
+        "critical_s": sum(h["dur_s"] for h in hops),
+        "straggler": straggler,
+        "critical_path": hops,
+        "ranks": [ranks[r] for r in sorted(ranks)],
+    }
+
+
+def analyze(events):
+    steps = {}
+    for e in events:
+        steps.setdefault(e["step"], []).append(e)
+    return {
+        "schema": "ab.critical_path.v1",
+        "steps": [analyze_step(s, evs) for s, evs in sorted(steps.items())],
+    }
+
+
+def compress_chain(hops):
+    """Merge runs of same-(rank, name, cat) hops for display."""
+    out = []
+    for h in hops:
+        if out and all(out[-1][k] == h[k] for k in ("rank", "name", "cat")):
+            out[-1]["dur_s"] += h["dur_s"]
+            out[-1]["n"] += 1
+        else:
+            out.append(dict(h, n=1))
+    return out
+
+
+def print_report(report):
+    for s in report["steps"]:
+        print(
+            f"step {s['step']}: makespan {s['makespan_s'] * 1e3:.3f} ms, "
+            f"critical path {s['critical_s'] * 1e3:.3f} ms "
+            f"({len(s['critical_path'])} spans), "
+            f"straggler {s['straggler']:.2f}"
+        )
+        shown = compress_chain(s["critical_path"])
+        head = " -> ".join(
+            f"rank {h['rank']} {h['name']}[{h['cat']}]"
+            + (f" x{h['n']}" if h["n"] > 1 else "")
+            for h in shown[:8]
+        )
+        more = f" -> ... ({len(shown) - 8} more)" if len(shown) > 8 else ""
+        print(f"  bounded by: {head}{more}")
+        worst = sorted(s["ranks"], key=lambda r: -r["busy_s"])[:4]
+        print("  rank  busy%  wait%  idle%  spans")
+        for r in worst:
+            print(
+                f"  {r['rank']:>4}  {r['busy_frac'] * 100:5.1f}  "
+                f"{r['wait_frac'] * 100:5.1f}  {r['idle_frac'] * 100:5.1f}  "
+                f"{r['spans']:>5}"
+            )
+        if len(s["ranks"]) > 4:
+            print(f"  ... {len(s['ranks']) - 4} more ranks")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="Chrome trace JSON (write_chrome_trace)")
+    ap.add_argument("--json", metavar="OUT", help="write ab.critical_path.v1")
+    ap.add_argument("--step", type=int, help="analyze this step only")
+    args = ap.parse_args()
+    events = load_tagged_events(args.trace)
+    if not events:
+        fail(
+            f"{args.trace} has no causally-tagged rank spans "
+            "(was the run traced with telemetry enabled on a RankSolver?)"
+        )
+    if args.step is not None:
+        events = [e for e in events if e["step"] == args.step]
+        if not events:
+            fail(f"no spans for step {args.step}")
+    report = analyze(events)
+    print_report(report)
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(report, f, indent=1)
+            f.write("\n")
+        print(f"wrote {args.json}")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,7 +19,8 @@ targets=(thread_pool_test task_graph_test block_pool_test ghost_test
          subcycling_test determinism_test substrate_determinism_test
          checkpoint_corruption_test fault_test
          tune_probe_test tune_cache_test reblocking_test
-         topo_codec_test local_topology_test)
+         topo_codec_test local_topology_test
+         trace_test msg_trace_test expose_test span_conservation_test)
 cmake --build "$build_dir" -j --target "${targets[@]}"
 
 # The fault suite rides along: recovery rebuilds solver state wholesale,
@@ -29,6 +30,10 @@ cmake --build "$build_dir" -j --target "${targets[@]}"
 # probe sweeps and autotuned solvers whose sub-blocked tiling feeds the
 # threaded task graph. The distmeta suite (topology codec + per-rank local
 # topology) is single-threaded today but rebuilds shared-looking state on
-# every regrid; running it under TSan keeps that assumption checked.
+# every regrid; running it under TSan keeps that assumption checked. The
+# obs suite covers the tracer's per-thread shards filled from pool workers,
+# the metrics server's serving thread racing registry mutation, and the
+# span conservation matrix, which runs causal message tracing under the
+# threaded task graph — the cross-rank tracing hot path.
 ctest --test-dir "$build_dir" --output-on-failure \
-  -R 'ThreadPool|TaskGraph|BlockPool|BlockStorePool|Ghost|ParallelSolver|AmrSolver|Subcycling|Determinism|SubstrateDeterminism|CheckpointCorruption|FaultPlan|FaultyWire|Recovery|Tune|ReBlocking|TopoCodec|TopoDelta|LocalTopology'
+  -R 'ThreadPool|TaskGraph|BlockPool|BlockStorePool|Ghost|ParallelSolver|AmrSolver|Subcycling|Determinism|SubstrateDeterminism|CheckpointCorruption|FaultPlan|FaultyWire|Recovery|Tune|ReBlocking|TopoCodec|TopoDelta|LocalTopology|Tracer|ChromeTraceJson|PhaseScope|MsgTrace|SpanContext|MsgPhase|PrometheusText|DumpMetrics|MetricsServer|SpanConservation'

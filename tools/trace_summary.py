@@ -8,28 +8,41 @@ trace_event objects is treated as a trace; a file of one JSON object per
 line is treated as a step report.
 
 For a trace, spans aggregate by (category, name): count, total time, mean,
-max, and the share of the traced wall interval. For a step report, the
-summary shows run totals (steps, cells updated, regrid events, ghost ops),
-aggregate phase times with their share of summed step wall time, final
-gauge values, and — for rank-parallel runs — per-rank traffic totals.
+max, and the share of the traced wall interval. Causally-tagged traces
+(rank lanes from a RankSolver run) additionally get a per-step
+`critical-path:` line and a per-rank wait/compute table via the same model
+as tools/critical_path.py. For a step report, the summary shows run totals
+(steps, cells updated, regrid events, ghost ops), aggregate phase times
+with their share of summed step wall time, final gauge values, and — for
+rank-parallel runs — per-rank traffic totals. ab.critical_path.v1 files
+(from --critical-path= or critical_path.py --json) are rendered directly.
+Files whose schema is not recognized exit non-zero with a clear message.
 """
 
 import json
+import os
 import sys
 
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from critical_path import analyze, compress_chain  # noqa: E402
 
-def load_events(path):
-    """Return trace events if `path` is a Chrome trace, else None."""
+
+def load_json_doc(path):
+    """Parse `path` as one JSON document, or None if it is not one."""
     with open(path) as f:
         text = f.read().strip()
-    if not text.startswith("["):
+    if not text.startswith(("[", "{")):
         return None
     try:
-        doc = json.loads(text)
+        return json.loads(text)
     except json.JSONDecodeError:
         return None
+
+
+def trace_events(doc):
+    """Return trace events if `doc` is a Chrome trace, else None."""
     if isinstance(doc, dict):
-        doc = doc.get("traceEvents", [])
+        doc = doc.get("traceEvents")
     if not isinstance(doc, list):
         return None
     return [e for e in doc if isinstance(e, dict) and e.get("ph") == "X"]
@@ -76,6 +89,81 @@ def summarize_trace(path, events):
     ):
         print(f"{cat:10s} {name:24s} {count:8d} {total / 1e3:10.2f} "
               f"{total / count:10.1f} {mx:10.1f} {100.0 * total / wall_us:6.1f}%")
+    summarize_causal(events)
+
+
+def tagged_spans(events):
+    """Causally-tagged rank spans, in critical_path.py's event shape."""
+    out = []
+    for e in events:
+        args = e.get("args")
+        if not isinstance(args, dict) or "id" not in args:
+            continue
+        pid = e.get("pid", 0)
+        step = args.get("step", -1)
+        if pid < 1 or step < 0 or e.get("cat") == "fault":
+            continue
+        out.append({
+            "step": step, "rank": pid - 1, "name": e.get("name", "?"),
+            "cat": e.get("cat", "?"), "ts": e.get("ts", 0.0),
+            "dur": e.get("dur", 0.0), "id": args["id"],
+            "parent": args.get("parent", 0),
+        })
+    return out
+
+
+def summarize_causal(events):
+    """critical-path: line per step plus a per-rank wait/compute table,
+    computed by the earliest-start model shared with critical_path.py."""
+    tagged = tagged_spans(events)
+    if not tagged:
+        return
+    report = analyze(tagged)
+    for s in report["steps"]:
+        hops = compress_chain(s["critical_path"])
+        top = max(hops, key=lambda h: h["dur_s"], default=None)
+        where = (f"rank {top['rank']} {top['name']}[{top['cat']}]"
+                 + (f" x{top['n']}" if top["n"] > 1 else "")
+                 if top else "nothing")
+        print(f"critical-path: step {s['step']} bounded by {where}, "
+              f"makespan {s['makespan_s'] * 1e3:.3f} ms "
+              f"({len(s['critical_path'])}-span chain), "
+              f"straggler {s['straggler']:.2f}")
+    # Aggregate the per-step busy/wait/idle decomposition across steps:
+    # fractions are of total makespan, so each rank's row sums to 100%.
+    total_makespan = sum(s["makespan_s"] for s in report["steps"])
+    agg = {}
+    for s in report["steps"]:
+        for r in s["ranks"]:
+            ent = agg.setdefault(r["rank"], [0, 0.0, 0.0, 0.0])
+            ent[0] += r["spans"]
+            ent[1] += r["busy_s"]
+            ent[2] += r["wait_s"]
+            ent[3] += r["idle_s"]
+    print(f"{'rank':>4s} {'spans':>7s} {'compute ms':>11s} {'wait ms':>9s} "
+          f"{'idle ms':>9s} {'compute%':>9s} {'wait%':>7s} {'idle%':>7s}")
+    for rank in sorted(agg):
+        spans, busy, wait, idle = agg[rank]
+        pct = (lambda v: 100.0 * v / total_makespan
+               if total_makespan > 0 else 0.0)
+        print(f"{rank:4d} {spans:7d} {busy * 1e3:11.3f} {wait * 1e3:9.3f} "
+              f"{idle * 1e3:9.3f} {pct(busy):8.1f}% {pct(wait):6.1f}% "
+              f"{pct(idle):6.1f}%")
+
+
+def summarize_critical_path(path, doc):
+    """Render an ab.critical_path.v1 file (written by --critical-path= or
+    critical_path.py --json)."""
+    steps = doc.get("steps", [])
+    print(f"== {path}: ab.critical_path.v1, {len(steps)} step(s) ==")
+    for s in steps:
+        hops = compress_chain(s.get("critical_path", []))
+        top = max(hops, key=lambda h: h["dur_s"], default=None)
+        where = (f"rank {top['rank']} {top['name']}[{top['cat']}]"
+                 if top else "nothing")
+        print(f"critical-path: step {s.get('step', '?')} bounded by {where}, "
+              f"makespan {s.get('makespan_s', 0.0) * 1e3:.3f} ms, "
+              f"straggler {s.get('straggler', 1.0):.2f}")
 
 
 def summarize_report(path, records):
@@ -204,7 +292,19 @@ def main():
         return 2
     status = 0
     for path in sys.argv[1:]:
-        events = load_events(path)
+        doc = load_json_doc(path)
+        if isinstance(doc, dict) and "schema" in doc:
+            if doc["schema"] == "ab.critical_path.v1":
+                summarize_critical_path(path, doc)
+                print()
+            else:
+                print(f"error: {path}: unknown schema "
+                      f"{doc['schema']!r} (this tool understands Chrome "
+                      "traces, JSONL step reports, and "
+                      "ab.critical_path.v1)", file=sys.stderr)
+                status = 1
+            continue
+        events = trace_events(doc) if doc is not None else None
         if events is not None:
             summarize_trace(path, events)
             print()
@@ -214,8 +314,8 @@ def main():
             summarize_report(path, records)
             print()
             continue
-        print(f"error: {path} is neither a Chrome trace nor a JSONL report",
-              file=sys.stderr)
+        print(f"error: {path} is neither a Chrome trace, a JSONL report, "
+              "nor an ab.critical_path.v1 file", file=sys.stderr)
         status = 1
     return status
 
