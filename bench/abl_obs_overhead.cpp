@@ -17,10 +17,12 @@
 // BENCH_solver.json). "tracing" is reported for scale but not gated — you
 // asked for the data, you pay for the data.
 //
-// Modes are interleaved across repetitions and each step index keeps its
-// minimum across repetitions (the per-step noise floor); regrids run
-// between timed steps but outside the timed windows. This rides out host
-// jitter far better than timing whole runs back to back.
+// All three solvers are stepped in lockstep within each repetition and the
+// reported overhead is the *median per-step ratio* against the off step
+// taken milliseconds earlier. Adjacent steps see the same host conditions,
+// so slow drift (thermal, cron, a neighbor VM) divides out of the ratio —
+// interleaving whole runs and keeping per-step minima does not cancel
+// drift and was observed to swing several percent run to run.
 //
 // Usage: abl_obs_overhead [--json] [--reps N] [--steps N] [--npes N]
 #include <algorithm>
@@ -29,7 +31,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -74,58 +76,77 @@ void gaussian_ic(const RVec<2>& x, LinearAdvection<2>::State& s) {
 
 enum class Mode { Off, Attached, Tracing };
 
-/// One full seeded run; lowers `floor[s]` to this run's wall ms for step
-/// s. Regrids happen between steps, outside the timed windows.
-void run_once(Mode mode, int npes, int steps, std::vector<double>* floor) {
-  obs::Telemetry tel;
-  if (mode == Mode::Tracing) tel.trace.set_enabled(true);
+using Solver = RankSolver<2, LinearAdvection<2>>;
+
+/// One repetition: build the three modes identically, step them in
+/// lockstep, and append each mode's per-step wall ms to `ms[mode]`.
+/// Step s of every mode runs within milliseconds of step s of "off", so
+/// later ratio-taking cancels host drift. Regrids run on all three
+/// between timed windows.
+void lockstep_rep(int npes, int steps, std::vector<double> (&ms)[3]) {
+  obs::Telemetry tel_attached;
+  obs::Telemetry tel_tracing;
+  tel_tracing.trace.set_enabled(true);
 
   LinearAdvection<2> phys;
   phys.velocity = {0.7, -0.4};
-  RankSolver<2, LinearAdvection<2>>::Config rcfg;
-  rcfg.solver.forest.root_blocks = {2, 2};
-  rcfg.solver.forest.periodic = {true, true};
-  rcfg.solver.forest.max_level = 2;
-  rcfg.solver.cells_per_block = {32, 32};
-  rcfg.solver.flux_correction = true;
-  rcfg.solver.telemetry = mode == Mode::Off ? nullptr : &tel;
-  rcfg.npes = npes;
-  RankSolver<2, LinearAdvection<2>> ranks(rcfg, phys);
+
+  std::vector<std::unique_ptr<Solver>> solvers;
+  for (const Mode m : {Mode::Off, Mode::Attached, Mode::Tracing}) {
+    Solver::Config rcfg;
+    rcfg.solver.forest.root_blocks = {2, 2};
+    rcfg.solver.forest.periodic = {true, true};
+    rcfg.solver.forest.max_level = 2;
+    rcfg.solver.cells_per_block = {32, 32};
+    rcfg.solver.flux_correction = true;
+    rcfg.solver.telemetry = m == Mode::Off        ? nullptr
+                            : m == Mode::Attached ? &tel_attached
+                                                  : &tel_tracing;
+    rcfg.npes = npes;
+    solvers.push_back(std::make_unique<Solver>(rcfg, phys));
+  }
 
   const std::uint64_t seed = 0x0B5ull;
-  for (int round = 0; round < 2; ++round)
-    ranks.adapt(SeededTopologyCriterion{
-        SeededTopologyCriterion::mix(seed + static_cast<std::uint64_t>(round)),
-        rcfg.solver.forest.max_level});
-  ranks.init(gaussian_ic);
+  for (auto& s : solvers) {
+    for (int round = 0; round < 2; ++round)
+      s->adapt(SeededTopologyCriterion{
+          SeededTopologyCriterion::mix(seed +
+                                       static_cast<std::uint64_t>(round)),
+          2});
+    s->init(gaussian_ic);
+  }
 
-  for (int s = 0; s < steps; ++s) {
-    const double dt = ranks.compute_dt();
-    const auto t0 = std::chrono::steady_clock::now();
-    ranks.step(dt);
-    const auto t1 = std::chrono::steady_clock::now();
-    double& f = (*floor)[static_cast<std::size_t>(s)];
-    f = std::min(f, std::chrono::duration<double, std::milli>(t1 - t0)
-                        .count());
-    if (s % 3 == 2)  // keep regrid churn in the run, outside the windows
-      ranks.adapt(SeededTopologyCriterion{
-          SeededTopologyCriterion::mix(seed * 977 +
-                                       static_cast<std::uint64_t>(s)),
-          rcfg.solver.forest.max_level});
+  for (int step = 0; step < steps; ++step) {
+    for (int m = 0; m < 3; ++m) {
+      const double dt = solvers[static_cast<std::size_t>(m)]->compute_dt();
+      const auto t0 = std::chrono::steady_clock::now();
+      solvers[static_cast<std::size_t>(m)]->step(dt);
+      const auto t1 = std::chrono::steady_clock::now();
+      ms[m].push_back(
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    if (step % 3 == 2)  // keep regrid churn in the run, outside the windows
+      for (auto& s : solvers)
+        s->adapt(SeededTopologyCriterion{
+            SeededTopologyCriterion::mix(seed * 977 +
+                                         static_cast<std::uint64_t>(step)),
+            2});
   }
 }
 
-double sum(const std::vector<double>& v) {
-  double s = 0.0;
-  for (double x : v) s += x;
-  return s;
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n == 0 ? 0.0
+         : n % 2 ? v[n / 2]
+                 : 0.5 * (v[n / 2 - 1] + v[n / 2]);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool json = false;
-  int reps = 12, steps = 12, npes = 8;
+  int reps = 6, steps = 12, npes = 8;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json = true;
     else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc)
@@ -142,23 +163,25 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::vector<std::vector<double>> floors(
-      3, std::vector<double>(static_cast<std::size_t>(steps),
-                             std::numeric_limits<double>::infinity()));
+  std::vector<double> ms[3];
   {
-    std::vector<double> warm(static_cast<std::size_t>(steps),
-                             std::numeric_limits<double>::infinity());
-    run_once(Mode::Off, npes, steps, &warm);  // warm-up rep, discarded
+    std::vector<double> warm[3];
+    lockstep_rep(npes, std::min(steps, 4), warm);  // warm-up rep, discarded
   }
-  for (int r = 0; r < reps; ++r)
-    for (const Mode m : {Mode::Off, Mode::Attached, Mode::Tracing})
-      run_once(m, npes, steps, &floors[static_cast<std::size_t>(m)]);
+  for (int r = 0; r < reps; ++r) lockstep_rep(npes, steps, ms);
 
-  const double off = sum(floors[0]) / steps;
-  const double attached = sum(floors[1]) / steps;
-  const double tracing = sum(floors[2]) / steps;
-  const double attached_frac = attached / off - 1.0;
-  const double tracing_frac = tracing / off - 1.0;
+  // Per-step ratios vs the off step of the same lockstep round, then the
+  // median — robust to the occasional descheduled step on a busy host.
+  std::vector<double> attached_ratio, tracing_ratio;
+  for (std::size_t i = 0; i < ms[0].size(); ++i) {
+    attached_ratio.push_back(ms[1][i] / ms[0][i]);
+    tracing_ratio.push_back(ms[2][i] / ms[0][i]);
+  }
+  const double off = median(ms[0]);
+  const double attached = median(ms[1]);
+  const double tracing = median(ms[2]);
+  const double attached_frac = median(attached_ratio) - 1.0;
+  const double tracing_frac = median(tracing_ratio) - 1.0;
 
   if (json) {
     std::printf(
@@ -173,8 +196,9 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::printf("Telemetry overhead, P=%d, %d steps, best of %d reps:\n\n",
-              npes, steps, reps);
+  std::printf(
+      "Telemetry overhead, P=%d, median of %zu lockstep steps (%d reps):\n\n",
+      npes, ms[0].size(), reps);
   std::printf("  %-28s %10.3f ms/step\n", "off (telemetry == nullptr)", off);
   std::printf("  %-28s %10.3f ms/step  (%+.2f%%)\n",
               "attached (trace disabled)", attached, 100.0 * attached_frac);

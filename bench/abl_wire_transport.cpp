@@ -1,0 +1,339 @@
+// Wire-transport overhead ablation: what does carrying every exchange
+// payload over a real kernel transport cost against the in-process
+// MessageBoard baseline — and what does overlapping the topology-delta
+// exchange with stage compute buy back at regrid time?
+//
+// Part 1 — in-process overhead. Three configurations of the same seeded
+// rank-parallel run (distributed metadata on, regrids mid-run, so ghost
+// fills, flux corrections, coarsen gathers, migrations, and topology
+// deltas all cross the wire):
+//
+//   board    in-process MessageBoard only — the default path, no wire;
+//   socket   AF_UNIX socketpairs — every payload framed, CRC'd, and
+//            round-tripped through the kernel;
+//   shm      shared-memory rings — framed and CRC'd, but the round trip
+//            is two memcpys through a MAP_SHARED ring, no syscall.
+//
+// All three run single-process (hub process -1), so the wire paths pay
+// the full send+receive cost in one process — the honest in-process
+// overhead number. The gated number is the shm delta: framing + CRC +
+// ring copies must stay within the 2% gate vs board
+// (tools/check_bench_regression.py --wire-overhead asserts it from the
+// wire_transport section bench/run_benchmarks.sh writes into
+// BENCH_solver.json). Socket is reported for scale but not gated — a
+// syscall per payload costs what it costs; you choose sockets for
+// fork-topology freedom, not speed.
+//
+// The three solvers advance in lockstep — the modes are bitwise
+// identical, so step s is the same work in all three — and each timed
+// step is compared against the board step taken ~0.5 s away, with the
+// reported overhead the median of the per-step ratios. Host-level drift
+// (frequency scaling, background load on a shared box) moves adjacent
+// steps together and cancels in the ratio; a min-across-runs scheme at
+// run granularity does not survive it at the 2% level.
+//
+// Part 2 — async topology-delta overlap, measured where it is real: a
+// forked SPMD process group over the shm rings (the wire tests' model —
+// each worker wire-sends only its own rank's channels). The synchronous
+// path receives neighbor deltas inside adapt(), so the regrid barrier
+// includes waiting for the peer process to reach its own send; the async
+// path posts sends during adapt() and drains receives between block
+// updates of the next step's stage compute. Workers time every adapt()
+// and the parent compares medians: async_topo_regrid_gain_frac is the
+// fraction of the regrid barrier the overlap removes, with solver bytes
+// identical either way (the equivalence matrix regresses that
+// separately).
+//
+// Usage: abl_wire_transport [--json] [--reps N] [--steps N] [--npes N]
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "parsim/rank_solver.hpp"
+#include "parsim/wire/hub.hpp"
+#include "parsim/wire/process_group.hpp"
+#include "parsim/wire/transport.hpp"
+#include "physics/advection.hpp"
+
+using namespace ab;
+
+namespace {
+
+/// Data-independent churn criterion (hash of seed/level/coords), same
+/// shape as the equivalence harness, so every mode does identical work.
+struct SeededTopologyCriterion {
+  std::uint64_t seed = 0;
+  int max_level = 1;
+
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  AdaptFlag operator()(const Forest<3>& f, const BlockStore<3>&,
+                       int id) const {
+    std::uint64_t h = mix(seed ^ static_cast<std::uint64_t>(
+                                     f.level(id) * 0x9E37u));
+    for (int d = 0; d < 3; ++d)
+      h = mix(h ^ static_cast<std::uint64_t>(f.coords(id)[d] + 1));
+    const int r = static_cast<int>(h % 4);
+    if (r == 0 && f.level(id) < max_level) return AdaptFlag::Refine;
+    if (r == 1 && f.level(id) > 0) return AdaptFlag::Coarsen;
+    return AdaptFlag::Keep;
+  }
+};
+
+void gaussian_ic(const RVec<3>& x, LinearAdvection<3>::State& s) {
+  const double dx = x[0] - 0.5, dy = x[1] - 0.5, dz = x[2] - 0.5;
+  s[0] = 1.0 + 0.8 * std::exp(-30.0 * (dx * dx + dy * dy + dz * dz));
+}
+
+RankSolver<3, LinearAdvection<3>>::Config base_config(int npes, int cells) {
+  RankSolver<3, LinearAdvection<3>>::Config rcfg;
+  rcfg.solver.forest.root_blocks = {2, 2, 2};
+  rcfg.solver.forest.periodic = {true, true, true};
+  rcfg.solver.forest.max_level = 1;
+  rcfg.solver.cells_per_block = {cells, cells, cells};
+  rcfg.solver.flux_correction = true;
+  rcfg.npes = npes;
+  rcfg.distributed_metadata = true;  // topology deltas + hull on the wire
+  return rcfg;
+}
+
+struct WireLoad {
+  double payload_mb_per_step = 0.0;
+  double frames_per_step = 0.0;
+};
+
+/// One lockstep repetition: three solvers over the same seeded script,
+/// stepped alternately, each step timed. Appends one per-step wall-ms
+/// sample per mode to `ms[mode]`; `load` accumulates the shm solver's
+/// wire traffic over the timed steps.
+void lockstep_rep(int npes, int steps, std::vector<double> (&ms)[3],
+                  WireLoad* load) {
+  const wire::TransportKind kinds[] = {wire::TransportKind::Board,
+                                       wire::TransportKind::Socket,
+                                       wire::TransportKind::Shm};
+  LinearAdvection<3> phys;
+  phys.velocity = {0.7, -0.4, 0.3};
+  std::vector<std::unique_ptr<RankSolver<3, LinearAdvection<3>>>> solvers;
+  const std::uint64_t seed = 0x0B5ull;
+  for (int m = 0; m < 3; ++m) {
+    auto rcfg = base_config(npes, 48);
+    rcfg.transport = kinds[m];
+    solvers.push_back(std::make_unique<RankSolver<3, LinearAdvection<3>>>(
+        rcfg, phys));
+    for (int round = 0; round < 2; ++round)
+      solvers.back()->adapt(SeededTopologyCriterion{
+          SeededTopologyCriterion::mix(seed +
+                                       static_cast<std::uint64_t>(round)),
+          1});
+    solvers.back()->init(gaussian_ic);
+  }
+
+  std::uint64_t bytes0 = 0, frames0 = 0;
+  if (const wire::WireHub* hub = solvers[2]->wire_hub()) {
+    bytes0 = hub->stats().payload_bytes;
+    frames0 = hub->stats().frames_sent;
+  }
+
+  for (int s = 0; s < steps; ++s) {
+    for (int m = 0; m < 3; ++m) {
+      auto& ranks = *solvers[static_cast<std::size_t>(m)];
+      const double dt = ranks.compute_dt();
+      const auto t0 = std::chrono::steady_clock::now();
+      ranks.step(dt);
+      const auto t1 = std::chrono::steady_clock::now();
+      ms[m].push_back(
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    if (s % 3 == 2)  // keep regrid churn in the run, outside the windows
+      for (auto& ranks : solvers)
+        ranks->adapt(SeededTopologyCriterion{
+            SeededTopologyCriterion::mix(seed * 977 +
+                                         static_cast<std::uint64_t>(s)),
+            1});
+  }
+
+  if (load != nullptr) {
+    if (const wire::WireHub* hub = solvers[2]->wire_hub()) {
+      load->payload_mb_per_step +=
+          static_cast<double>(hub->stats().payload_bytes - bytes0) / 1e6 /
+          steps;
+      load->frames_per_step +=
+          static_cast<double>(hub->stats().frames_sent - frames0) / steps;
+    }
+  }
+}
+
+/// One forked SPMD run over the shm rings: every worker times each of its
+/// adapt() barriers; the returned samples pool all workers' regrids.
+std::vector<double> spmd_regrid_once(bool async_topo, int npes, int steps) {
+  wire::WireHub hub(wire::TransportKind::Shm, npes);  // pre-fork
+  const std::vector<wire::WorkerResult> results =
+      wire::run_process_group(npes, [&](int w) {
+        hub.set_process(w);
+        hub.set_recv_timeout(60.0);
+        LinearAdvection<3> phys;
+        phys.velocity = {0.7, -0.4, 0.3};
+        auto rcfg = base_config(npes, 16);
+        rcfg.wire = &hub;
+        rcfg.async_topo_delta = async_topo;
+        RankSolver<3, LinearAdvection<3>> ranks(rcfg, phys);
+        const std::uint64_t seed = 0x0B5ull;
+        for (int round = 0; round < 2; ++round)
+          ranks.adapt(SeededTopologyCriterion{
+              SeededTopologyCriterion::mix(seed +
+                                           static_cast<std::uint64_t>(round)),
+              rcfg.solver.forest.max_level});
+        ranks.init(gaussian_ic);
+        std::vector<double> ms;
+        for (int s = 0; s < steps; ++s) {
+          ranks.step(ranks.compute_dt());
+          if (s % 2 == 1) {
+            const auto t0 = std::chrono::steady_clock::now();
+            ranks.adapt(SeededTopologyCriterion{
+                SeededTopologyCriterion::mix(seed * 977 +
+                                             static_cast<std::uint64_t>(s)),
+                rcfg.solver.forest.max_level});
+            const auto t1 = std::chrono::steady_clock::now();
+            ms.push_back(
+                std::chrono::duration<double, std::milli>(t1 - t0).count());
+          }
+        }
+        const auto* raw = reinterpret_cast<const std::uint8_t*>(ms.data());
+        return std::vector<std::uint8_t>(raw,
+                                         raw + ms.size() * sizeof(double));
+      });
+  std::vector<double> samples;
+  for (const wire::WorkerResult& r : results) {
+    if (!r.ok) {
+      std::fprintf(stderr, "spmd worker %d failed: %s\n", r.worker,
+                   r.error.c_str());
+      std::exit(1);
+    }
+    const std::size_t k = r.blob.size() / sizeof(double);
+    const auto* d = reinterpret_cast<const double*>(r.blob.data());
+    samples.insert(samples.end(), d, d + k);
+  }
+  return samples;
+}
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t m = v.size() / 2;
+  return v.size() % 2 == 1 ? v[m] : 0.5 * (v[m - 1] + v[m]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  int reps = 6, steps = 12, npes = 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc)
+      reps = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc)
+      steps = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--npes") == 0 && i + 1 < argc)
+      npes = std::atoi(argv[++i]);
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--json] [--reps N] [--steps N] [--npes N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  // The ablation measures the Config knobs, so ambient env overrides
+  // would silently collapse the modes into one.
+  ::unsetenv("AB_TRANSPORT");
+  ::unsetenv("AB_ASYNC_TOPO");
+  ::unsetenv("AB_HULL_PREFETCH");
+  ::unsetenv("AB_DIST_META");
+
+  std::vector<double> ms[3];
+  WireLoad load;
+  for (int r = 0; r < reps; ++r)
+    lockstep_rep(npes, steps, ms, r == 0 ? &load : nullptr);
+
+  // Per-step ratios against the board step taken moments before; the
+  // median is what survives a noisy shared host.
+  std::vector<double> socket_ratio, shm_ratio;
+  for (std::size_t i = 0; i < ms[0].size(); ++i) {
+    socket_ratio.push_back(ms[1][i] / ms[0][i]);
+    shm_ratio.push_back(ms[2][i] / ms[0][i]);
+  }
+  const double board = median(ms[0]);
+  const double socket = median(ms[1]);
+  const double shm = median(ms[2]);
+  const double socket_frac = median(socket_ratio) - 1.0;
+  const double shm_frac = median(shm_ratio) - 1.0;
+
+  // Part 2: the regrid barrier across real forked processes, sync vs
+  // async topology-delta exchange, interleaved like the modes above.
+  const int spmd_steps = 8;
+  std::vector<double> sync_ms, async_ms;
+  for (int r = 0; r < reps; ++r) {
+    for (double x : spmd_regrid_once(false, npes, spmd_steps))
+      sync_ms.push_back(x);
+    for (double x : spmd_regrid_once(true, npes, spmd_steps))
+      async_ms.push_back(x);
+  }
+  const double regrid_sync = median(sync_ms);
+  const double regrid_async = median(async_ms);
+  const double regrid_gain =
+      regrid_sync > 0.0 ? 1.0 - regrid_async / regrid_sync : 0.0;
+
+  if (json) {
+    std::printf(
+        "{\n \"npes\": %d, \"steps\": %d, \"reps\": %d,\n"
+        " \"board_ms_per_step\": %.6f,\n"
+        " \"socket_ms_per_step\": %.6f,\n"
+        " \"shm_ms_per_step\": %.6f,\n"
+        " \"socket_overhead_frac\": %.6f,\n"
+        " \"shm_overhead_frac\": %.6f,\n"
+        " \"regrid_sync_ms\": %.6f,\n"
+        " \"regrid_async_ms\": %.6f,\n"
+        " \"async_topo_regrid_gain_frac\": %.6f,\n"
+        " \"payload_mb_per_step\": %.3f,\n"
+        " \"frames_per_step\": %.1f\n}\n",
+        npes, steps, reps, board, socket, shm, socket_frac, shm_frac,
+        regrid_sync, regrid_async, regrid_gain, load.payload_mb_per_step,
+        load.frames_per_step);
+    return 0;
+  }
+
+  std::printf(
+      "Wire transport overhead, P=%d single-process, median of %zu "
+      "lockstep steps\n(%.2f MB payload, %.0f frames per step across the "
+      "wire):\n\n",
+      npes, ms[0].size(), load.payload_mb_per_step, load.frames_per_step);
+  std::printf("  %-28s %10.3f ms/step\n", "board (in-process)", board);
+  std::printf("  %-28s %10.3f ms/step  (%+.2f%%)\n", "socket (AF_UNIX)",
+              socket, 100.0 * socket_frac);
+  std::printf("  %-28s %10.3f ms/step  (%+.2f%%)\n", "shm (rings)", shm,
+              100.0 * shm_frac);
+  std::printf(
+      "\nSPMD regrid barrier (%d forked workers over shm, median of %zu "
+      "regrids):\n  sync topo exchange  %8.3f ms\n  async (overlapped)  "
+      "%8.3f ms  (%+.1f%%)\n",
+      npes, sync_ms.size(), regrid_sync, regrid_async,
+      -100.0 * regrid_gain);
+  std::printf(
+      "\nthe gated number is the shm row: framing + CRC + ring copies must "
+      "stay\nwithin 2%% of board (tools/check_bench_regression.py "
+      "--wire-overhead).\nsocket pays a kernel round trip per payload and "
+      "is reported, not gated.\n");
+  return 0;
+}

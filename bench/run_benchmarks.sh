@@ -63,12 +63,17 @@ if [ ! -x "$build_dir/bench/abl_obs_overhead" ]; then
   cmake --build "$build_dir" --target abl_obs_overhead -j > /dev/null
 fi
 
+if [ ! -x "$build_dir/bench/abl_wire_transport" ]; then
+  cmake --build "$build_dir" --target abl_wire_transport -j > /dev/null
+fi
+
 raw="$(mktemp)"
 churn_raw="$(mktemp)"
 fig5_raw="$(mktemp)"
 scale_raw="$(mktemp)"
 obs_raw="$(mktemp)"
-trap 'rm -f "$raw" "$churn_raw" "$fig5_raw" "$scale_raw" "$obs_raw"' EXIT
+wire_raw="$(mktemp)"
+trap 'rm -f "$raw" "$churn_raw" "$fig5_raw" "$scale_raw" "$obs_raw" "$wire_raw"' EXIT
 "$build_dir/bench/bench_kernels" --benchmark_format=json "$@" > "$raw"
 # Regrid-churn storm, pooled (Arg 1) vs malloc (Arg 0) block substrate.
 # Runs need >= ~10 iterations for the malloc side to reach its
@@ -82,10 +87,18 @@ trap 'rm -f "$raw" "$churn_raw" "$fig5_raw" "$scale_raw" "$obs_raw"' EXIT
 "$build_dir/bench/fig5_block_size" --json > "$fig5_raw"
 # Distributed- vs global-metadata scale-out sweep (P = 64..4096).
 "$build_dir/bench/abl_scale_ranks" --json > "$scale_raw"
-# Telemetry overhead ablation: off vs attached vs tracing (interleaved
-# reps, per-mode minima). The attached-vs-off delta is the zero-cost-off
-# contract; tools/check_bench_regression.py --obs-overhead gates it at 2%.
+# Telemetry overhead ablation: off vs attached vs tracing stepped in
+# lockstep (median per-step ratio). The attached-vs-off delta is the
+# zero-cost-off contract; tools/check_bench_regression.py --obs-overhead
+# gates it at 2%.
 "$build_dir/bench/abl_obs_overhead" --json > "$obs_raw"
+# Wire transport ablation: board vs socket vs shm stepped in lockstep
+# (median per-step ratio), plus the forked-SPMD sync-vs-async regrid
+# barrier. The shm-vs-board delta is the in-process wire overhead
+# contract; tools/check_bench_regression.py --wire-overhead gates it at
+# 2%. Extra reps here: each rep reconstructs the solvers (fresh memory
+# layout), and the gated median wants many layout draws.
+"$build_dir/bench/abl_wire_transport" --json --reps 10 > "$wire_raw"
 
 # Host metadata stamped into both output files.
 compiler="$(c++ --version 2>/dev/null | head -1 || echo unknown)"
@@ -104,11 +117,11 @@ AB_BENCH_COMPILER="$compiler" AB_BENCH_NATIVE_ARCH="$native_arch" \
 AB_BENCH_CXX_FLAGS="$cxx_flags" AB_BENCH_GIT_SHA="$git_sha" \
 AB_BENCH_NPROC="$ncpu" AB_BENCH_BUILD_TYPE="$build_type" \
 python3 - "$raw" "$seed" "$out" "$solver_out" "$churn_raw" "$churn_seed" \
-  "$fig5_raw" "$scale_raw" "$obs_raw" <<'EOF'
+  "$fig5_raw" "$scale_raw" "$obs_raw" "$wire_raw" <<'EOF'
 import json, os, sys
 
 (raw_path, seed_path, out_path, solver_path, churn_path, churn_seed_path,
- fig5_path, scale_path, obs_path) = sys.argv[1:10]
+ fig5_path, scale_path, obs_path, wire_path) = sys.argv[1:11]
 after = json.load(open(raw_path))
 host = {
     "compiler": os.environ.get("AB_BENCH_COMPILER", "unknown"),
@@ -212,6 +225,14 @@ solver_doc["scale_ranks"] = scale
 obs = json.load(open(obs_path))
 solver_doc["obs_overhead"] = obs
 
+# Wire transport ablation (abl_wire_transport): ms/step over the
+# in-process board, AF_UNIX socketpairs, and shared-memory rings, all
+# single-process. The shm-vs-board fraction is the in-process wire
+# overhead number docs/PERFORMANCE.md quotes;
+# check_bench_regression.py --wire-overhead BENCH_solver.json gates it.
+wire = json.load(open(wire_path))
+solver_doc["wire_transport"] = wire
+
 json.dump(solver_doc, open(solver_path, "w"), indent=1)
 print(f"wrote {solver_path} ({len(solver)} BM_SolverStep entries)")
 for name, ratio in churn_doc["pool_speedup"].items():
@@ -237,4 +258,10 @@ if pts:
 print(f"  obs_overhead: attached {100 * obs['attached_overhead_frac']:+.2f}%"
       f" / tracing {100 * obs['tracing_overhead_frac']:+.2f}% vs off"
       f" ({obs['off_ms_per_step']:.3f} ms/step baseline)")
+print(f"  wire_transport: shm {100 * wire['shm_overhead_frac']:+.2f}%"
+      f" / socket {100 * wire['socket_overhead_frac']:+.2f}% vs board"
+      f" ({wire['board_ms_per_step']:.3f} ms/step baseline, "
+      f"{wire['payload_mb_per_step']:.2f} MB/step on the wire); "
+      f"async topo regrid "
+      f"{-100 * wire['async_topo_regrid_gain_frac']:+.1f}%")
 EOF

@@ -84,11 +84,15 @@ int main(int argc, char** argv) {
   if (metrics_port >= 0) {
     server = std::make_unique<obs::MetricsServer>(
         tel.metrics, static_cast<std::uint16_t>(metrics_port));
-    if (server->ok())
-      std::printf("metrics: serving on http://127.0.0.1:%u/\n",
-                  server->port());
-    else
-      std::fprintf(stderr, "cannot bind metrics port %d\n", metrics_port);
+    if (!server->ok()) {
+      // The user asked for this endpoint; running without it would look
+      // exactly like a healthy run to whatever scrapes it.
+      std::fprintf(stderr, "cannot serve metrics (%s)\n",
+                   server->error().c_str());
+      return 1;
+    }
+    std::printf("metrics: serving on http://127.0.0.1:%u/\n",
+                server->port());
   }
   AmrSolver<2, IdealMhd<2>> solver(cfg, phys);
 

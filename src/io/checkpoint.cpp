@@ -1,7 +1,10 @@
 #include "io/checkpoint.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -106,13 +109,20 @@ std::vector<char> read_file(const std::string& path) {
   return bytes;
 }
 
-/// Write `bytes` to `path` atomically: assemble at path+".tmp", flush,
-/// close, then rename over the destination. A crash at any point leaves
-/// either the old checkpoint or a stray .tmp — never a half-written file
-/// under the real name.
+/// Write `bytes` to `path` atomically: assemble at a uniquely-named
+/// sibling tmp file, flush, close, then rename over the destination. A
+/// crash at any point leaves either the old checkpoint or a stray tmp —
+/// never a half-written file under the real name. The tmp name embeds the
+/// pid and a process-wide counter: concurrent savers (SPMD worker
+/// processes auto-checkpointing the same path, or two threads) each write
+/// their own tmp instead of interleaving into a shared path+".tmp", so
+/// the rename always publishes one writer's complete bytes.
 void write_file_atomic(const std::string& path,
                        const std::vector<char>& bytes) {
-  const std::string tmp = path + ".tmp";
+  static std::atomic<std::uint64_t> seq{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
   {
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
     AB_REQUIRE(os.good(), "save_checkpoint: cannot open " + tmp);

@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -101,7 +102,10 @@ bool dump_metrics(MetricsRegistry& registry, const std::string& path) {
 MetricsServer::MetricsServer(MetricsRegistry& registry, std::uint16_t port)
     : registry_(registry) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) return;
+  if (fd_ < 0) {
+    error_ = std::string("socket: ") + std::strerror(errno);
+    return;
+  }
   const int one = 1;
   ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
   sockaddr_in addr{};
@@ -110,6 +114,8 @@ MetricsServer::MetricsServer(MetricsRegistry& registry, std::uint16_t port)
   addr.sin_port = htons(port);
   if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
       ::listen(fd_, 4) != 0) {
+    error_ = "bind 127.0.0.1:" + std::to_string(port) + ": " +
+             std::strerror(errno);
     ::close(fd_);
     fd_ = -1;
     return;

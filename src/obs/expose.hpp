@@ -51,6 +51,11 @@ class MetricsServer {
 
   /// False if the listening socket could not be bound.
   bool ok() const { return fd_ >= 0; }
+  /// Why ok() is false: "bind 127.0.0.1:9090: Address already in use".
+  /// Empty while ok(). Callers given an explicit port should treat a bind
+  /// failure as a hard error and surface this text — a silently missing
+  /// scrape endpoint looks exactly like a healthy run.
+  const std::string& error() const { return error_; }
   /// The bound port (resolved when constructed with port 0).
   std::uint16_t port() const { return port_; }
   /// Stop the serving thread and close the socket (idempotent; the
@@ -63,6 +68,7 @@ class MetricsServer {
   MetricsRegistry& registry_;
   int fd_ = -1;
   std::uint16_t port_ = 0;
+  std::string error_;
   std::atomic<bool> stop_{false};
   std::thread thread_;
 };

@@ -34,6 +34,7 @@
 #include "obs/msg_trace.hpp"
 #include "parsim/fault.hpp"
 #include "parsim/rank_accounting.hpp"
+#include "parsim/wire/hub.hpp"
 #include "util/error.hpp"
 
 namespace ab {
@@ -62,6 +63,16 @@ class MessageBoard {
   /// so fault-injection RNG draws and CRCs are unchanged.
   void set_trace(obs::MsgTrace* mt) { trace_ = mt; }
 
+  /// Route every channel payload through a real wire (nullptr detaches):
+  /// sends frame the packed doubles onto `hub`'s transport under `cls`,
+  /// and receives overwrite the channel bytes with what arrived off the
+  /// wire before the caller reads them — making the wire copy the one a
+  /// receiver consumes.
+  void set_wire(wire::WireHub* hub, wire::PayloadClass cls) {
+    wire_ = hub;
+    wire_cls_ = cls;
+  }
+
   /// Emit one send/receive span pair per channel that saw traffic since
   /// the last flush. The board has no intrinsic round-end signal, so the
   /// owner calls this once per exchange round (clear() also flushes, as a
@@ -84,9 +95,13 @@ class MessageBoard {
     Channel& ch = channels_[{src, dst}];
     const std::size_t at = ch.data.size();
     ch.data.insert(ch.data.end(), data, data + n);
+    WireFaults wf;
     if (faults_ != nullptr)
-      faults_->transmit(src, dst, ch.data.data() + at,
-                        static_cast<std::size_t>(n));
+      wf = faults_->transmit(src, dst, ch.data.data() + at,
+                             static_cast<std::size_t>(n));
+    if (wire_ != nullptr && n > 0)
+      wire_->send(wire_cls_, src, dst, ch.data.data() + at,
+                  static_cast<std::size_t>(n), wf);
     if (mt != nullptr) {
       const std::int64_t t1 = mt->now();
       mt->add_send(ch.span, src, t0, t1);
@@ -108,6 +123,11 @@ class MessageBoard {
     Channel& ch = it->second;
     AB_REQUIRE(ch.read + static_cast<std::size_t>(n) <= ch.data.size(),
                "MessageBoard: read past end of channel");
+    // The wire bytes are authoritative: overwrite the staging bytes with
+    // what physically arrived before the caller reads them.
+    if (wire_ != nullptr && n > 0)
+      wire_->recv(wire_cls_, src, dst, ch.data.data() + ch.read,
+                  static_cast<std::size_t>(n));
     const double* p = ch.data.data() + ch.read;
     ch.read += static_cast<std::size_t>(n);
     if (mt != nullptr) mt->add_recv(ch.span, t0, mt->now());
@@ -155,6 +175,8 @@ class MessageBoard {
   std::map<std::pair<int, int>, Channel> channels_;
   FaultPlan* faults_ = nullptr;
   obs::MsgTrace* trace_ = nullptr;
+  wire::WireHub* wire_ = nullptr;
+  wire::PayloadClass wire_cls_ = wire::PayloadClass::Board;
 };
 
 template <int D>
@@ -188,6 +210,12 @@ class BufferedExchange {
   /// counts. Context bytes never enter the double payload.
   void set_trace(obs::MsgTrace* mt) { trace_ = mt; }
 
+  /// Route every cross-PE fill payload through a real wire (nullptr
+  /// detaches): each phase's packed buffer is framed onto `hub`'s
+  /// transport and the receiver overwrites the buffer with the wire bytes
+  /// before unpacking.
+  void set_wire(wire::WireHub* hub) { wire_ = hub; }
+
   /// Recompute message layouts after the exchanger was rebuilt or the
   /// partition changed.
   void rebuild() {
@@ -216,6 +244,7 @@ class BufferedExchange {
       }
       Message& msg = messages_[static_cast<std::size_t>(it->second)];
       msg.phase_ops[phase].push_back(i);
+      msg.phase_doubles[phase] += exchanger_->op_payload_doubles(op);
       msg.doubles += exchanger_->op_payload_doubles(op);
     }
     for (auto& msg : messages_)
@@ -260,11 +289,17 @@ class BufferedExchange {
         }
         // ...push each packed buffer through the (possibly lossy) wire.
         // Faults are injected, detected, and retransmitted here, so the
-        // buffer a receiver unpacks is always the clean payload.
-        if (faults_ != nullptr && cursor != msg.buffer.data())
-          faults_->transmit(
-              msg.src_pe, msg.dst_pe, msg.buffer.data(),
-              static_cast<std::size_t>(cursor - msg.buffer.data()));
+        // buffer a receiver unpacks is always the clean payload; the wire
+        // realizes the drawn faults as actual frames.
+        const std::size_t nsend =
+            static_cast<std::size_t>(cursor - msg.buffer.data());
+        WireFaults wf;
+        if (faults_ != nullptr && nsend > 0)
+          wf = faults_->transmit(msg.src_pe, msg.dst_pe, msg.buffer.data(),
+                                 nsend);
+        if (wire_ != nullptr && nsend > 0)
+          wire_->send(wire::PayloadClass::Ghost, msg.src_pe, msg.dst_pe,
+                      msg.buffer.data(), nsend, wf);
         if (mt != nullptr && cursor != msg.buffer.data()) {
           const std::int64_t t1 = mt->now();
           mt->add_send(msg.span, msg.src_pe, t0, t1);
@@ -278,6 +313,12 @@ class BufferedExchange {
       // what a bulk-synchronous exchange round does.
       for (auto& msg : messages_) {
         const std::int64_t t0 = mt != nullptr ? mt->now() : 0;
+        // Pull the phase's payload off the wire into the staging buffer
+        // before unpacking — the wire copy is the one consumed.
+        if (wire_ != nullptr && msg.phase_doubles[phase] > 0)
+          wire_->recv(wire::PayloadClass::Ghost, msg.src_pe, msg.dst_pe,
+                      msg.buffer.data(),
+                      static_cast<std::size_t>(msg.phase_doubles[phase]));
         const double* cursor = msg.buffer.data();
         BlockStore<D>& dst_store = store_of(msg.dst_pe);
         for (int i : msg.phase_ops[phase]) {
@@ -326,6 +367,7 @@ class BufferedExchange {
     int src_pe = -1;
     int dst_pe = -1;
     std::vector<int> phase_ops[2];
+    std::int64_t phase_doubles[2] = {0, 0};
     std::vector<double> buffer;
     std::int64_t doubles = 0;
     obs::MsgSpanState span;
@@ -345,6 +387,7 @@ class BufferedExchange {
   std::vector<Message> messages_;
   FaultPlan* faults_ = nullptr;
   obs::MsgTrace* trace_ = nullptr;
+  wire::WireHub* wire_ = nullptr;
 };
 
 }  // namespace ab

@@ -47,6 +47,19 @@ class RankFailure : public Error {
   int rank_;
 };
 
+/// What one transmit() call injected, reported to the caller so a real
+/// wire backend (src/parsim/wire/) can materialize the faults as actual
+/// frames: each corruption becomes a bad frame followed by a clean
+/// retransmission with the same sequence number, a duplicate becomes the
+/// same frame sent twice, a reorder splits the payload into two frames
+/// sent sequence-swapped. The in-process MessageBoard ignores the report
+/// (its channel already holds the recovered clean copy).
+struct WireFaults {
+  int corrupted = 0;        ///< bad frames preceding the clean delivery
+  bool duplicated = false;  ///< clean frame delivered twice
+  bool reordered = false;   ///< delivered as two sequence-swapped frames
+};
+
 /// Cumulative accounting of what the wire did.
 struct FaultStats {
   std::int64_t transmissions = 0;  ///< payloads offered to the wire
@@ -108,12 +121,16 @@ class FaultPlan {
   /// `dst`. On return the buffer holds exactly the bytes the sender
   /// packed (one clean, CRC-verified copy was delivered); the stats
   /// record every fault injected and retransmission performed along the
-  /// way. Throws if a payload exhausts max_retries.
-  void transmit(int src, int dst, double* data, std::size_t n) {
+  /// way. The returned report tells a real wire backend which faults to
+  /// materialize as frames (drops never reach the wire: the retransmit
+  /// replaces them at the fault layer). Throws if a payload exhausts
+  /// max_retries.
+  WireFaults transmit(int src, int dst, double* data, std::size_t n) {
+    WireFaults wf;
     ++stats_.transmissions;
     if (n == 0 || !faults_possible()) {
       ++stats_.delivered;
-      return;
+      return wf;
     }
     const std::size_t bytes = n * sizeof(double);
     const std::uint32_t want = crc32(data, bytes);
@@ -140,18 +157,21 @@ class FaultPlan {
         ++stats_.corrupted;
         ++stats_.retries;
         ++attempts;
+        ++wf.corrupted;
         std::memcpy(data, retained.data(), bytes);  // retransmit clean copy
         continue;
       }
       if (a == Action::Duplicate) {
         // Both copies arrive; sequence numbering discards the second.
         ++stats_.duplicated;
+        wf.duplicated = true;
       } else if (a == Action::Reorder) {
         // Arrives out of order; the receive window reassembles by seq.
         ++stats_.reordered;
+        wf.reordered = true;
       }
       ++stats_.delivered;
-      return;
+      return wf;
     }
   }
 

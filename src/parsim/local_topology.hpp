@@ -205,21 +205,34 @@ class LocalTopologySet {
   struct BuildStats {
     std::int64_t probes = 0;         ///< face probes issued, all ranks
     std::int64_t remote_probes = 0;  ///< probes resolving to another rank
+    std::int64_t prefetch_hits = 0;  ///< remote probes a validated hint saved
   };
 
   /// Build the per-rank views. `owner` is the node-id -> rank map from
   /// partition_blocks (only Morton/Hilbert are valid); requires the
   /// forest's 2:1 level constraint, which bounds face probes.
-  LocalTopologySet(const Forest<D>& forest, const std::vector<int>& owner,
-                   int npes, PartitionPolicy policy)
+  ///
+  /// `prefetch`, when non-null, holds per-rank hull-prefetch hints: remote
+  /// descriptors shipped with the migration traffic (RankSolver's
+  /// exchange_hull_prefetch), each sorted by key_begin. A probe whose hint
+  /// validates against the directory skips the remote round trip and
+  /// counts as a prefetch_hit instead of a remote_probe; stale hints fall
+  /// back to the probe path. The hull built is identical either way.
+  LocalTopologySet(
+      const Forest<D>& forest, const std::vector<int>& owner, int npes,
+      PartitionPolicy policy,
+      const std::vector<std::vector<BlockDesc<D>>>* prefetch = nullptr)
       : curve_(forest.config(), policy),
         ranks_(static_cast<std::size_t>(npes)) {
     AB_REQUIRE(npes >= 1, "LocalTopologySet: npes must be >= 1");
     AB_REQUIRE(forest.config().max_level_diff == 1,
                "LocalTopologySet: face probes require the 2:1 constraint");
+    AB_REQUIRE(prefetch == nullptr ||
+                   static_cast<int>(prefetch->size()) == npes,
+               "LocalTopologySet: prefetch hints must be sized to npes");
     build_owned(forest, owner, npes);
     build_directory(npes);
-    build_hulls(forest, npes);
+    build_hulls(forest, npes, prefetch);
   }
 
   const CurveMap<D>& curve() const { return curve_; }
@@ -298,7 +311,9 @@ class LocalTopologySet {
     }
   }
 
-  void build_hulls(const Forest<D>& forest, int npes) {
+  void build_hulls(
+      const Forest<D>& forest, int npes,
+      const std::vector<std::vector<BlockDesc<D>>>* prefetch = nullptr) {
     for (int pe = 0; pe < npes; ++pe) {
       LocalTopology<D>& t = ranks_[static_cast<std::size_t>(pe)];
       for (const BlockDesc<D>& b : t.owned_) {
@@ -324,6 +339,22 @@ class LocalTopologySet {
               const std::uint64_t key = curve_.point_key(probe);
               const int who = directory_.owner_of(key);
               if (who == pe) continue;  // local neighbor: already owned
+              if (prefetch != nullptr && who >= 0) {
+                // A hint that still agrees with the directory and the
+                // owner's real descriptor replaces the remote round trip.
+                const BlockDesc<D>* hint = LocalTopology<D>::find_in(
+                    (*prefetch)[static_cast<std::size_t>(pe)], key);
+                if (hint != nullptr && hint->owner == who) {
+                  const BlockDesc<D>* nb =
+                      ranks_[static_cast<std::size_t>(who)].find_owned(key);
+                  if (nb != nullptr && nb->key_begin == hint->key_begin &&
+                      nb->level == hint->level && nb->coords == hint->coords) {
+                    ++stats_.prefetch_hits;
+                    t.hull_.push_back(*nb);
+                    continue;
+                  }
+                }
+              }
               ++stats_.remote_probes;
               if (who < 0) continue;  // root-mask gap past the key range
               const BlockDesc<D>* nb =

@@ -53,6 +53,8 @@
 #include "parsim/machine.hpp"
 #include "parsim/partition.hpp"
 #include "parsim/rank_accounting.hpp"
+#include "parsim/wire/hub.hpp"
+#include "parsim/wire/transport.hpp"
 #include "util/topo_codec.hpp"
 #include "physics/kernel.hpp"
 #include "util/aligned.hpp"
@@ -88,6 +90,29 @@ class RankSolver {
     /// so a recovery point always exists before the first possible death.
     int checkpoint_every = 0;
     std::string checkpoint_path;
+    /// Which wire carries the exchange payloads (env AB_TRANSPORT=
+    /// board|socket|shm wins over config). Board is the in-process
+    /// MessageBoard path — the default and the bitwise reference; Socket
+    /// and Shm frame every payload (ghosts, flux, gathers, migration,
+    /// topology deltas) over a real kernel transport (src/parsim/wire/),
+    /// still bitwise identical to serial.
+    wire::TransportKind transport = wire::TransportKind::Board;
+    /// External wire hub: SPMD worker processes construct one hub before
+    /// forking and every worker's solver shares it (its kind overrides
+    /// `transport`). Null = the solver owns a private hub when the
+    /// resolved transport is not Board.
+    wire::WireHub* wire = nullptr;
+    /// Overlap the regrid topology-delta exchange with subsequent stage
+    /// compute: sends post during adapt(), receives drain one per block
+    /// update (env AB_ASYNC_TOPO). Forced synchronous while message
+    /// tracing is active, so span accounting is unchanged when traced.
+    /// Metadata only — solver bytes are identical either way.
+    bool async_topo_delta = true;
+    /// Ship post-regrid owned-block descriptors to the stale pre-regrid
+    /// neighbor ranks alongside the migration traffic, so the hull
+    /// rebuild validates prefetched hints instead of issuing remote
+    /// probes (env AB_HULL_PREFETCH; distributed_metadata only).
+    bool hull_prefetch = true;
   };
 
   RankSolver(Config cfg, Phys phys)
@@ -134,6 +159,7 @@ class RankSolver {
                "RankSolver: checkpoint_every needs a checkpoint_path");
     buffered_.set_fault_plan(cfg_.faults);
     board_.set_fault_plan(cfg_.faults);
+    topo_board_.set_fault_plan(cfg_.faults);
     if (cfg_.solver.telemetry != nullptr) {
       // Causal cross-rank tracing: every transport payload carries a span
       // context stamped at send and joined at receive. Costs nothing while
@@ -141,7 +167,33 @@ class RankSolver {
       msg_trace_.bind(&cfg_.solver.telemetry->trace);
       buffered_.set_trace(&msg_trace_);
       board_.set_trace(&msg_trace_);
+      topo_board_.set_trace(&msg_trace_);
     }
+    // Wire transport: an external hub (SPMD workers, pre-fork) wins; else
+    // resolve config + AB_TRANSPORT and own a hub when one is needed.
+    if (cfg_.wire != nullptr) {
+      AB_REQUIRE(cfg_.wire->npes() == cfg_.npes,
+                 "RankSolver: wire hub sized for a different npes");
+      hub_ = cfg_.wire;
+      transport_kind_ = hub_->kind();
+    } else {
+      transport_kind_ = wire::resolve_transport(cfg_.transport);
+      if (transport_kind_ != wire::TransportKind::Board) {
+        owned_hub_ =
+            std::make_unique<wire::WireHub>(transport_kind_, cfg_.npes);
+        hub_ = owned_hub_.get();
+      }
+    }
+    if (hub_ != nullptr) {
+      buffered_.set_wire(hub_);
+      board_.set_wire(hub_, wire::PayloadClass::Board);
+      topo_board_.set_wire(hub_, wire::PayloadClass::Topo);
+    }
+    async_topo_ = cfg_.async_topo_delta;
+    if (const char* e = std::getenv("AB_ASYNC_TOPO")) async_topo_ = e[0] != '0';
+    prefetch_ = cfg_.hull_prefetch;
+    if (const char* e = std::getenv("AB_HULL_PREFETCH"))
+      prefetch_ = e[0] != '0';
     distmeta_ = resolve_distmeta(cfg_);
     if (distmeta_ && (!CurveMap<D>::supports(cfg_.policy) ||
                       cfg_.solver.forest.max_level_diff != 1)) {
@@ -189,6 +241,17 @@ class RankSolver {
   bool distributed_metadata() const { return distmeta_; }
   /// The per-rank local views (null when distributed_metadata is off).
   const LocalTopologySet<D>* local_topology() const { return topo_.get(); }
+  /// The transport actually carrying exchange payloads (config + env +
+  /// external hub resolution).
+  wire::TransportKind transport_kind() const { return transport_kind_; }
+  /// The wire hub in use (null on the Board path). Tests shrink its
+  /// receive timeout; SPMD harnesses read its frame stats.
+  wire::WireHub* wire_hub() { return hub_; }
+  const wire::WireHub* wire_hub() const { return hub_; }
+  /// Whether regrid topology deltas overlap with stage compute.
+  bool async_topo_delta_active() const { return async_topo_; }
+  /// Whether migration ships hull-prefetch descriptors.
+  bool hull_prefetch_active() const { return prefetch_; }
 
   /// Cell size of a block at `level`.
   RVec<D> cell_dx(int level) const {
@@ -369,6 +432,10 @@ class RankSolver {
   /// restored blocks across the currently-alive ranks. Ghosts are refilled
   /// by the next step's exchange.
   void restore(const std::string& path) {
+    // Deferred topology deltas from before the failure must be consumed
+    // (on the wire path they are already buffered frames that would
+    // otherwise corrupt the next topo round).
+    drain_topo_all();
     forest_ = Forest<D>(cfg_.solver.forest);
     BlockStore<D> global(layout_);
     time_ = load_checkpoint<D>(path, forest_, global);
@@ -439,6 +506,9 @@ class RankSolver {
   AdaptResult adapt(const Criterion& criterion) {
     obs::PhaseScope ps(cfg_.solver.telemetry, "regrid", "regrid");
     if (ps.span_id() != 0) ps.set_context(0, -1, step_index_);
+    // The previous regrid's deferred topology deltas must land before a
+    // new round starts (normally they drained during stage compute).
+    drain_topo_all();
     AdaptResult res;
     std::vector<std::pair<int, AdaptFlag>> flags;
     flags.reserve(forest_.leaves().size());
@@ -564,6 +634,11 @@ class RankSolver {
       }
       owner_ = std::move(fresh);
       buffered_.set_owner(owner_, cfg_.npes);
+      // Hull prefetch rides with the migration: post-regrid descriptors go
+      // to the stale view's neighbor ranks now, so the rebuild below can
+      // validate hints instead of probing.
+      if (distmeta_ && prefetch_ && topo_ != nullptr)
+        exchange_hull_prefetch(rc, ps.span_id());
       rebuild_rank_structures();
       if (distmeta_) exchange_topology_deltas(deltas, rc, ps.span_id());
       rc.migrated_blocks = ms.blocks;
@@ -685,10 +760,16 @@ class RankSolver {
   /// the local view is the authority: any block a plan touches across a
   /// rank boundary must be discoverable by curve-key probing alone.
   void rebuild_local_topology() {
+    // One-shot prefetch hints from the regrid that triggered this rebuild
+    // (empty everywhere else: construction, restore).
+    const std::vector<std::vector<BlockDesc<D>>>* hints =
+        prefetch_hints_.empty() ? nullptr : &prefetch_hints_;
     topo_ = std::make_unique<LocalTopologySet<D>>(forest_, owner_, cfg_.npes,
-                                                  cfg_.policy);
+                                                  cfg_.policy, hints);
+    prefetch_hints_.clear();
     topo_probes_acc_ += topo_->stats().probes;
     topo_remote_acc_ += topo_->stats().remote_probes;
+    topo_prefetch_acc_ += topo_->stats().prefetch_hits;
     // Directory check: every owned block's key interval must resolve to
     // its owner (this is what routes migration payloads when no rank holds
     // the global owner array).
@@ -731,52 +812,170 @@ class RankSolver {
 
   /// Ship each rank's regrid topology changes (compact binarized-octree
   /// delta records, src/util/topo_codec.hpp) to its neighbor ranks through
-  /// the message board — the same lossy wire as every other payload, so
+  /// the topology board — the same lossy wire as every other payload, so
   /// fault injection composes — and verify the decoded records match.
+  ///
+  /// Asynchronous mode (Config::async_topo_delta / AB_ASYNC_TOPO): sends
+  /// post here but receives defer to drain_topo_some(), called between
+  /// block updates during stage compute — the delta exchange overlaps the
+  /// next step's work instead of extending the regrid barrier. Forced
+  /// synchronous while message tracing is active, so span accounting (one
+  /// span pair per channel, closed within the round) is unchanged.
   void exchange_topology_deltas(
       const std::vector<std::vector<TopoDeltaRecord<D>>>& deltas,
       RegridCost& rc, std::uint64_t parent_span = 0) {
-    board_.clear();
+    const bool async = async_topo_ && !msg_trace_.active();
+    topo_board_.clear();  // prior rounds fully drained (adapt() entry)
     if (msg_trace_.active())
       msg_trace_.set_context(step_index_, obs::MsgPhase::TopoDelta,
                              parent_span);
     std::vector<std::vector<double>> packed(
         static_cast<std::size_t>(cfg_.npes));
+    std::int64_t msgs = 0;
+    std::int64_t bytes = 0;
     for (int p = 0; p < cfg_.npes; ++p) {
       const auto& recs = deltas[static_cast<std::size_t>(p)];
       if (recs.empty()) continue;
-      const std::vector<std::uint8_t> bytes = encode_topo_delta<D>(recs);
+      const std::vector<std::uint8_t> enc = encode_topo_delta<D>(recs);
       // Byte payloads ride the double-valued board: one length double,
       // then the bytes packed eight per double.
       std::vector<double>& buf = packed[static_cast<std::size_t>(p)];
-      buf.assign(1 + (bytes.size() + sizeof(double) - 1) / sizeof(double),
+      buf.assign(1 + (enc.size() + sizeof(double) - 1) / sizeof(double),
                  0.0);
-      buf[0] = static_cast<double>(bytes.size());
-      std::memcpy(buf.data() + 1, bytes.data(), bytes.size());
-      for (int q : topo_->rank(p).neighbor_ranks())
-        board_.send(p, q, buf.data(),
-                    static_cast<std::int64_t>(buf.size()));
+      buf[0] = static_cast<double>(enc.size());
+      std::memcpy(buf.data() + 1, enc.data(), enc.size());
+      for (int q : topo_->rank(p).neighbor_ranks()) {
+        topo_board_.send(p, q, buf.data(),
+                         static_cast<std::int64_t>(buf.size()));
+        ++msgs;
+        bytes += static_cast<std::int64_t>(buf.size() * sizeof(double));
+        if (async)
+          pending_topo_.push_back(
+              {p, q, static_cast<std::int64_t>(buf.size()), recs});
+      }
     }
+    if (!async) {
+      for (int p = 0; p < cfg_.npes; ++p) {
+        const auto& buf = packed[static_cast<std::size_t>(p)];
+        if (buf.empty()) continue;
+        for (int q : topo_->rank(p).neighbor_ranks())
+          verify_topo_delta(p, q, static_cast<std::int64_t>(buf.size()),
+                            deltas[static_cast<std::size_t>(p)]);
+      }
+    }
+    rc.topo_delta_messages += msgs;
+    rc.topo_delta_bytes += bytes;
+    topo_board_.flush_trace();
+    topo_delta_msgs_acc_ += msgs;
+    topo_delta_bytes_acc_ += bytes;
+  }
+
+  /// Receive one (src, dst) topology-delta payload and check it decodes to
+  /// exactly the records the sender applied.
+  void verify_topo_delta(int src, int dst, std::int64_t n,
+                         const std::vector<TopoDeltaRecord<D>>& expect) {
+    const double* payload = topo_board_.receive(src, dst, n);
+    const std::size_t nbytes = static_cast<std::size_t>(payload[0]);
+    std::vector<std::uint8_t> rx(nbytes);
+    std::memcpy(rx.data(), payload + 1, nbytes);
+    AB_REQUIRE(decode_topo_delta<D>(rx) == expect,
+               "distributed metadata: topology delta did not survive "
+               "the wire");
+  }
+
+  /// Deferred topology-delta receives still outstanding?
+  bool topo_pending() const {
+    return topo_drain_pos_ < pending_topo_.size();
+  }
+
+  /// Consume up to `k` deferred topology-delta receives — the overlap
+  /// hook, called between block updates during stage compute. Resets the
+  /// board once the round fully drains (on the wire path the frames have
+  /// left their per-class queue by then).
+  void drain_topo_some(std::size_t k) {
+    while (k-- > 0 && topo_drain_pos_ < pending_topo_.size()) {
+      const PendingTopo& pt = pending_topo_[topo_drain_pos_++];
+      verify_topo_delta(pt.src, pt.dst, pt.n, pt.expect);
+    }
+    if (!pending_topo_.empty() &&
+        topo_drain_pos_ == pending_topo_.size()) {
+      pending_topo_.clear();
+      topo_drain_pos_ = 0;
+      topo_board_.clear();
+    }
+  }
+
+  void drain_topo_all() { drain_topo_some(pending_topo_.size()); }
+
+  /// Ship each rank's post-regrid owned-block descriptors to the neighbor
+  /// ranks of its STALE pre-regrid view (the only adjacency anyone knows
+  /// mid-migration), riding the topology wire class and counted as
+  /// topo-delta traffic. Receivers keep them as hull-prefetch hints: the
+  /// rebuild validates each hint against the directory and skips the
+  /// remote probe it replaces (stats().prefetch_hits). Metadata only —
+  /// the hull built is identical with or without hints.
+  void exchange_hull_prefetch(RegridCost& rc, std::uint64_t parent_span = 0) {
+    topo_board_.clear();
+    if (msg_trace_.active())
+      msg_trace_.set_context(step_index_, obs::MsgPhase::TopoDelta,
+                             parent_span);
+    // Pack per rank: [count, then per block: level, coords..., owner].
+    std::vector<std::vector<double>> packed(
+        static_cast<std::size_t>(cfg_.npes));
+    for (int id : forest_.leaves()) {
+      const int pe = owner_at(id);
+      std::vector<double>& buf = packed[static_cast<std::size_t>(pe)];
+      if (buf.empty()) buf.push_back(0.0);
+      buf.push_back(static_cast<double>(forest_.level(id)));
+      const IVec<D> c = forest_.coords(id);
+      for (int d = 0; d < D; ++d) buf.push_back(static_cast<double>(c[d]));
+      buf.push_back(static_cast<double>(pe));
+      buf[0] += 1.0;
+    }
+    std::int64_t msgs = 0;
+    std::int64_t bytes = 0;
     for (int p = 0; p < cfg_.npes; ++p) {
       const auto& buf = packed[static_cast<std::size_t>(p)];
       if (buf.empty()) continue;
       for (int q : topo_->rank(p).neighbor_ranks()) {
-        const double* payload =
-            board_.receive(p, q, static_cast<std::int64_t>(buf.size()));
-        const std::size_t nbytes = static_cast<std::size_t>(payload[0]);
-        std::vector<std::uint8_t> rx(nbytes);
-        std::memcpy(rx.data(), payload + 1, nbytes);
-        AB_REQUIRE(decode_topo_delta<D>(rx) ==
-                       deltas[static_cast<std::size_t>(p)],
-                   "distributed metadata: topology delta did not survive "
-                   "the wire");
+        topo_board_.send(p, q, buf.data(),
+                         static_cast<std::int64_t>(buf.size()));
+        ++msgs;
+        bytes += static_cast<std::int64_t>(buf.size() * sizeof(double));
       }
     }
-    rc.topo_delta_messages = board_.messages();
-    rc.topo_delta_bytes = board_.bytes();
-    board_.flush_trace();
-    topo_delta_msgs_acc_ += rc.topo_delta_messages;
-    topo_delta_bytes_acc_ += rc.topo_delta_bytes;
+    prefetch_hints_.assign(static_cast<std::size_t>(cfg_.npes), {});
+    const CurveMap<D> curve(forest_.config(), cfg_.policy);
+    for (int p = 0; p < cfg_.npes; ++p) {
+      const auto& buf = packed[static_cast<std::size_t>(p)];
+      if (buf.empty()) continue;
+      for (int q : topo_->rank(p).neighbor_ranks()) {
+        const double* payload = topo_board_.receive(
+            p, q, static_cast<std::int64_t>(buf.size()));
+        const int count = static_cast<int>(payload[0]);
+        const double* at = payload + 1;
+        auto& hints = prefetch_hints_[static_cast<std::size_t>(q)];
+        for (int i = 0; i < count; ++i) {
+          BlockDesc<D> b;
+          b.level = static_cast<int>(*at++);
+          for (int d = 0; d < D; ++d) b.coords[d] = static_cast<int>(*at++);
+          b.owner = static_cast<int>(*at++);
+          b.key_begin = curve.interval_begin(b.level, b.coords);
+          b.key_end = b.key_begin + curve.span(b.level);
+          hints.push_back(b);
+        }
+      }
+    }
+    for (auto& hints : prefetch_hints_)
+      std::sort(hints.begin(), hints.end(),
+                [](const BlockDesc<D>& a, const BlockDesc<D>& b) {
+                  return a.key_begin < b.key_begin;
+                });
+    rc.topo_delta_messages += msgs;
+    rc.topo_delta_bytes += bytes;
+    topo_board_.flush_trace();
+    topo_delta_msgs_acc_ += msgs;
+    topo_delta_bytes_acc_ += bytes;
   }
 
   /// Buffered ghost exchange across all ranks + per-rank BCs. BC faces
@@ -835,6 +1034,9 @@ class RankSolver {
         btr->record(obs::TraceEvent{"stage_update", "compute", bt0,
                                     btr->now_ns(), 0, btr->new_span_id(),
                                     ps.span_id(), pe, step_index_});
+      // Async topology deltas: retire one deferred receive per block
+      // update, hiding the exchange behind compute.
+      if (topo_pending()) drain_topo_some(1);
     }
     block_updates_ += static_cast<std::uint64_t>(forest_.num_leaves());
     if (fc) exchange_and_apply_corrections(out, dt, sc, ps.span_id());
@@ -972,9 +1174,30 @@ class RankSolver {
       };
       pub("topo.probes", topo_probes_acc_, topo_probes_seen_);
       pub("topo.remote_probes", topo_remote_acc_, topo_remote_seen_);
+      pub("topo.prefetch_hits", topo_prefetch_acc_, topo_prefetch_seen_);
       pub("topo.delta_messages", topo_delta_msgs_acc_,
           topo_delta_msgs_seen_);
       pub("topo.delta_bytes", topo_delta_bytes_acc_, topo_delta_bytes_seen_);
+    }
+    if (hub_ != nullptr) {
+      // Wire-frame totals are cumulative per hub; counters take deltas.
+      const wire::WireStats& ws = hub_->stats();
+      auto pub = [&m](const char* name, std::int64_t cur,
+                      std::int64_t prev) {
+        if (cur > prev)
+          m.counter(name)->add(static_cast<std::uint64_t>(cur - prev));
+      };
+      pub("wire.frames_sent", ws.frames_sent, wire_prev_.frames_sent);
+      pub("wire.frames_recv", ws.frames_recv, wire_prev_.frames_recv);
+      pub("wire.payload_bytes", ws.payload_bytes, wire_prev_.payload_bytes);
+      pub("wire.bytes", ws.wire_bytes, wire_prev_.wire_bytes);
+      pub("wire.crc_rejects", ws.crc_rejects, wire_prev_.crc_rejects);
+      pub("wire.dup_discards", ws.dup_discards, wire_prev_.dup_discards);
+      pub("wire.reorder_stashes", ws.reorder_stashes,
+          wire_prev_.reorder_stashes);
+      wire_prev_ = ws;
+      m.gauge("wire.dedup_state_bytes")
+          ->set(static_cast<double>(hub_->dedup_state_bytes()));
     }
     publish_tune_gauges(m, tune_decision_);
     if (cfg_.faults != nullptr) {
@@ -1062,6 +1285,10 @@ class RankSolver {
   std::vector<int> owner_;  ///< node id -> rank (-1 for non-leaves)
   BufferedExchange<D> buffered_;
   MessageBoard board_;
+  /// Topology-delta + hull-prefetch traffic (wire class Topo). Separate
+  /// from board_ so deferred async receives survive the board rounds the
+  /// next steps run.
+  MessageBoard topo_board_;
   /// Cross-rank causal message tracing (bound to the telemetry's tracer at
   /// construction; inert while the tracer is disabled).
   obs::MsgTrace msg_trace_;
@@ -1078,12 +1305,35 @@ class RankSolver {
   std::unique_ptr<LocalTopologySet<D>> topo_;
   std::int64_t topo_probes_acc_ = 0;
   std::int64_t topo_remote_acc_ = 0;
+  std::int64_t topo_prefetch_acc_ = 0;
   std::int64_t topo_delta_msgs_acc_ = 0;
   std::int64_t topo_delta_bytes_acc_ = 0;
   std::int64_t topo_probes_seen_ = 0;
   std::int64_t topo_remote_seen_ = 0;
+  std::int64_t topo_prefetch_seen_ = 0;
   std::int64_t topo_delta_msgs_seen_ = 0;
   std::int64_t topo_delta_bytes_seen_ = 0;
+  /// Wire transport state (Board path: hub_ stays null and none of this
+  /// is touched).
+  wire::TransportKind transport_kind_ = wire::TransportKind::Board;
+  std::unique_ptr<wire::WireHub> owned_hub_;
+  wire::WireHub* hub_ = nullptr;
+  wire::WireStats wire_prev_;  ///< hub stats published so far
+  bool async_topo_ = true;
+  bool prefetch_ = true;
+  /// One deferred async topology-delta receive (src -> dst, n doubles,
+  /// plus the records the payload must decode to).
+  struct PendingTopo {
+    int src;
+    int dst;
+    std::int64_t n;
+    std::vector<TopoDeltaRecord<D>> expect;
+  };
+  std::vector<PendingTopo> pending_topo_;
+  std::size_t topo_drain_pos_ = 0;
+  /// Hull-prefetch hints collected by exchange_hull_prefetch, consumed
+  /// (and cleared) by the next rebuild_local_topology.
+  std::vector<std::vector<BlockDesc<D>>> prefetch_hints_;
   AlignedScratch kernel_scratch_;
   std::vector<std::uint64_t> rank_flops_;
   std::vector<bool> alive_;  ///< per-rank liveness (deaths are permanent)

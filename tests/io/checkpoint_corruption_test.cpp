@@ -5,11 +5,15 @@
 // position-bearing truncation errors.
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
-#include <sys/stat.h>
 #include <vector>
 
 #include "core/block_store.hpp"
@@ -273,6 +277,129 @@ TEST(CheckpointCorruption, SaveIsAtomicAndLeavesNoTempFile) {
   BlockStore<2> s(layout());
   EXPECT_DOUBLE_EQ(load_checkpoint<2>(kPath, g, s), 2.0);
   std::remove(kPath);
+}
+
+/// Tmp siblings of `path` (anything named <base>.tmp*) left in its
+/// directory — the atomic writer must never leave one behind.
+std::vector<std::string> stray_tmps(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = path.substr(0, slash);
+  const std::string prefix = path.substr(slash + 1) + ".tmp";
+  std::vector<std::string> out;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return out;
+  while (dirent* e = ::readdir(d))
+    if (std::strncmp(e->d_name, prefix.c_str(), prefix.size()) == 0)
+      out.push_back(dir + "/" + e->d_name);
+  ::closedir(d);
+  return out;
+}
+
+TEST(CheckpointCorruption, ConcurrentSaversNeverTearTheFile) {
+  // Several real processes auto-checkpoint the SAME path at once (the
+  // SPMD wire workers do exactly this). Each writer assembles in its own
+  // uniquely-suffixed tmp — pid + counter — so no two writers interleave
+  // bytes, and every rename publishes one writer's complete file. A
+  // reader racing the writers must only ever see a complete, CRC-valid
+  // checkpoint from one of them.
+  const std::string path = "/tmp/ab_ckpt_concurrent_" +
+                           std::to_string(::getpid()) + ".bin";
+  const int kWriters = 4;
+  const int kSaves = 40;
+  Forest<2> f(forest_cfg());
+  BlockLayout<2> lay = layout();
+  auto make_store = [&](int writer) {
+    BlockStore<2> store(lay);
+    for (int id : f.leaves()) {
+      store.ensure(id);
+      BlockView<2> v = store.view(id);
+      for_each_cell<2>(lay.interior_box(), [&](IVec<2> p) {
+        for (int var = 0; var < 3; ++var)
+          v.at(var, p) = writer * 1e6 + id * 1000.0 + var * 100.0 + p[0];
+      });
+    }
+    return store;
+  };
+  // Seed the path so the racing reader below never sees ENOENT.
+  {
+    BlockStore<2> s0 = make_store(0);
+    save_checkpoint<2>(path, f, s0, 1.0);
+  }
+  std::vector<pid_t> pids;
+  for (int w = 0; w < kWriters; ++w) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      BlockStore<2> s = make_store(w);
+      for (int i = 0; i < kSaves; ++i)
+        save_checkpoint<2>(path, f, s, static_cast<double>(w + 1));
+      _exit(0);
+    }
+    pids.push_back(pid);
+  }
+  // Read while the writers hammer the path: every load must be complete
+  // and self-consistent (time identifies the writer; the data must be
+  // that writer's bytes — a torn mix would trip the CRC first and this
+  // check second).
+  int reads = 0, torn = 0;
+  for (int i = 0; i < 200; ++i) {
+    Forest<2> g(forest_cfg());
+    BlockStore<2> s(lay);
+    try {
+      const double t = load_checkpoint<2>(path, g, s);
+      const int w = static_cast<int>(t) - 1;
+      if (w < 0 || w >= kWriters) ++torn;
+      for (int id : g.leaves()) {
+        ConstBlockView<2> v = s.view(id);
+        if (v.at(0, lay.interior_box().lo) != w * 1e6 + id * 1000.0)
+          ++torn;
+      }
+      ++reads;
+    } catch (const Error&) {
+      ++torn;  // a racing reader must never see a damaged file
+    }
+  }
+  for (pid_t pid : pids) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "writer died (status " << status << ")";
+  }
+  EXPECT_EQ(torn, 0) << "racing reader saw a torn checkpoint";
+  EXPECT_EQ(reads, 200);
+  // After the dust settles: the final file is one writer's complete save
+  // and no uniquely-suffixed tmp survived.
+  Forest<2> g(forest_cfg());
+  BlockStore<2> s(lay);
+  const double t = load_checkpoint<2>(path, g, s);
+  EXPECT_GE(t, 1.0);
+  EXPECT_LE(t, static_cast<double>(kWriters));
+  EXPECT_TRUE(stray_tmps(path).empty());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointCorruption, StrayTmpFromACrashedWriterIsNeverRead) {
+  // A writer that dies mid-assembly leaves a garbage tmp under its unique
+  // suffix. The real path (the previous complete checkpoint) must stay
+  // loadable, and the loader must never fall back to ANY tmp sibling.
+  const std::string path = "/tmp/ab_ckpt_stray_" +
+                           std::to_string(::getpid()) + ".bin";
+  Forest<2> f(forest_cfg());
+  BlockStore<2> store(layout());
+  for (int id : f.leaves()) store.ensure(id);
+  save_checkpoint<2>(path, f, store, 3.5);
+  // Simulate the crash: half-written garbage under a dead writer's name.
+  write_bytes(path + ".tmp.99999.0",
+              std::vector<char>(37, static_cast<char>(0xAB)));
+  Forest<2> g(forest_cfg());
+  BlockStore<2> s(layout());
+  EXPECT_DOUBLE_EQ(load_checkpoint<2>(path, g, s), 3.5);
+  // With the real file gone, the stray tmp must NOT be resurrected.
+  std::remove(path.c_str());
+  Forest<2> h(forest_cfg());
+  BlockStore<2> s2(layout());
+  EXPECT_THROW(load_checkpoint<2>(path, h, s2), Error);
+  std::remove((path + ".tmp.99999.0").c_str());
 }
 
 TEST(CheckpointCorruption, UnwritableDestinationThrows) {

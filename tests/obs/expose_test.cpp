@@ -119,5 +119,39 @@ TEST(MetricsServer, ServesFreshSnapshotsOnAnEphemeralPort) {
   server.stop();
 }
 
+TEST(MetricsServer, BindFailureReportsPortAndReason) {
+  // Occupy a loopback port, then ask a MetricsServer for exactly that
+  // port: construction must fail with ok() == false and error() naming
+  // the port and the errno text. Callers who were GIVEN the port (e.g.
+  // --metrics-port) must treat this as a hard error — a silently missing
+  // scrape endpoint looks exactly like a healthy run.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // kernel-chosen: guaranteed free until we close it
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  ASSERT_EQ(::listen(fd, 1), 0);
+  socklen_t len = sizeof addr;
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const std::uint16_t taken = ntohs(addr.sin_port);
+
+  MetricsRegistry reg;
+  MetricsServer server(reg, taken);
+  EXPECT_FALSE(server.ok());
+  EXPECT_FALSE(server.error().empty());
+  EXPECT_NE(server.error().find(std::to_string(taken)), std::string::npos)
+      << server.error();
+  EXPECT_NE(server.error().find("bind"), std::string::npos)
+      << server.error();
+  ::close(fd);
+
+  // A healthy server reports no error.
+  MetricsServer ok_server(reg, 0);
+  EXPECT_TRUE(ok_server.ok());
+  EXPECT_TRUE(ok_server.error().empty());
+}
+
 }  // namespace
 }  // namespace ab::obs

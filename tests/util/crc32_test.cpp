@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,49 @@ TEST(Crc32, DetectsEverySingleBitFlip) {
     raw[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
   }
   EXPECT_EQ(crc32(payload.data(), bytes), clean);
+}
+
+TEST(Crc32, FastPathsMatchBytewiseReference) {
+  // crc32_update dispatches between a PCLMUL folding kernel, a
+  // slicing-by-8 loop, and a bytewise tail depending on length, alignment,
+  // and host CPU. All tiers must be bit-identical: pin them to an
+  // independent bytewise implementation across random lengths straddling
+  // every dispatch threshold, at every misalignment, chunked arbitrarily.
+  auto reference = [](const unsigned char* p, std::size_t n) {
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < n; ++i) {
+      c ^= p[i];
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    return c ^ 0xFFFFFFFFu;
+  };
+  std::mt19937_64 rng(20260808u);
+  std::vector<unsigned char> buf(1 << 16);
+  for (auto& b : buf) b = static_cast<unsigned char>(rng());
+  for (int trial = 0; trial < 64; ++trial) {
+    const std::size_t off = rng() % 64;
+    // Lengths cluster around the 8/16/64-byte dispatch edges plus a few
+    // large blocks so the 64-byte folding loop runs for real.
+    const std::size_t edges[] = {0, 7, 8, 15, 16, 63, 64, 65, 127, 1000,
+                                 (std::size_t)(rng() % (buf.size() - 64))};
+    const std::size_t len =
+        std::min(edges[static_cast<std::size_t>(rng() % 11)],
+                 buf.size() - off);
+    const std::uint32_t want = reference(buf.data() + off, len);
+    EXPECT_EQ(crc32(buf.data() + off, len), want)
+        << "len " << len << " off " << off;
+    // Arbitrary chunking must chain to the same value.
+    std::uint32_t c = 0;
+    std::size_t pos = 0;
+    while (pos < len) {
+      const std::size_t take = std::min<std::size_t>(1 + rng() % 97,
+                                                     len - pos);
+      c = crc32_update(c, buf.data() + off + pos, take);
+      pos += take;
+    }
+    EXPECT_EQ(c, want) << "chunked, len " << len << " off " << off;
+  }
 }
 
 }  // namespace

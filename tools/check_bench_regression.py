@@ -14,6 +14,10 @@ Two modes:
   # or raw abl_obs_overhead --json output):
   tools/check_bench_regression.py --obs-overhead BENCH_solver.json
 
+  # Gate the in-process wire-transport overhead (BENCH_solver.json wrapper
+  # or raw abl_wire_transport --json output):
+  tools/check_bench_regression.py --wire-overhead BENCH_solver.json
+
 Exit status is 1 when any benchmark present in both files is slower than
 seed by more than --threshold (a ratio: 1.5 means "fails below 1/1.5 of the
 seed items/second"). Benchmarks missing on either side are reported but do
@@ -24,6 +28,14 @@ cross-configuration comparisons are visible for what they are.
 Telemetry to the rank solver costs no more than --obs-overhead-max (default
 2%) over running with telemetry == nullptr; the full-tracing figure is
 echoed but not gated.
+
+--wire-overhead likewise asserts that routing every exchange payload over
+the shared-memory ring transport (framing + CRC + ring copies, run
+single-process so one process pays both ends) costs no more than
+--wire-overhead-max (default 2%) over the in-process MessageBoard, as the
+median per-step lockstep ratio; the socket figure is echoed but not gated —
+it pays a kernel round trip per payload by design. The forked-SPMD
+sync-vs-async topology-delta regrid figures are echoed for the record.
 """
 
 import argparse
@@ -133,6 +145,46 @@ def check_obs_overhead(path, max_frac):
     return 0
 
 
+def check_wire_overhead(path, max_frac):
+    """In-process wire gate: the shm (shared-memory ring) ms/step must
+    stay within max_frac of the board (in-process MessageBoard) baseline.
+    Accepts the BENCH_solver.json wrapper or raw abl_wire_transport --json
+    output. Returns 0 on pass, 1 on fail."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        sys.exit(f"error: cannot read wire-overhead file {path}: "
+                 f"{e.strerror or e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: wire-overhead file {path} is not valid JSON "
+                 f"(line {e.lineno}: {e.msg})")
+    wt = doc.get("wire_transport", doc) if isinstance(doc, dict) else None
+    if not isinstance(wt, dict) or "shm_overhead_frac" not in wt:
+        sys.exit(f"error: {path} has no wire_transport section (expected "
+                 "BENCH_solver.json from bench/run_benchmarks.sh or raw "
+                 "abl_wire_transport --json output)")
+    shm = wt["shm_overhead_frac"]
+    socket = wt.get("socket_overhead_frac")
+    print(f"wire overhead: board "
+          f"{wt.get('board_ms_per_step', float('nan')):.3f} ms/step, "
+          f"shm {100 * shm:+.2f}%"
+          + (f", socket {100 * socket:+.2f}%" if socket is not None else ""))
+    gain = wt.get("async_topo_regrid_gain_frac")
+    if gain is not None:
+        print(f"async topo overlap: SPMD regrid barrier "
+              f"{wt.get('regrid_sync_ms', float('nan')):.3f} ms sync -> "
+              f"{wt.get('regrid_async_ms', float('nan')):.3f} ms async "
+              f"({-100 * gain:+.1f}%, informational)")
+    if shm > max_frac:
+        print(f"FAIL: the shm wire path costs {100 * shm:.2f}% over the "
+              f"in-process board (gate: {100 * max_frac:.1f}%) — framing, "
+              "CRC, or the ring copies regressed")
+        return 1
+    print(f"OK: in-process shm wire overhead within {100 * max_frac:.1f}%")
+    return 0
+
+
 def main():
     p = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
@@ -151,6 +203,18 @@ def main():
         type=float,
         default=0.02,
         help="max allowed attached-vs-off overhead fraction (default 0.02)",
+    )
+    p.add_argument(
+        "--wire-overhead",
+        metavar="JSON",
+        help="BENCH_solver.json (or raw abl_wire_transport --json output): "
+        "gate the in-process shm-vs-board wire overhead",
+    )
+    p.add_argument(
+        "--wire-overhead-max",
+        type=float,
+        default=0.02,
+        help="max allowed shm-vs-board overhead fraction (default 0.02)",
     )
     p.add_argument(
         "--seed",
@@ -177,16 +241,24 @@ def main():
     args = p.parse_args()
     if args.threshold <= 1.0:
         p.error("--threshold must be > 1.0")
-    if not (args.bench_binary or args.current or args.obs_overhead):
-        p.error("one of --bench-binary, --current, or --obs-overhead "
-                "is required")
+    if not (args.bench_binary or args.current or args.obs_overhead
+            or args.wire_overhead):
+        p.error("one of --bench-binary, --current, --obs-overhead, or "
+                "--wire-overhead is required")
     if args.obs_overhead_max <= 0:
         p.error("--obs-overhead-max must be > 0")
+    if args.wire_overhead_max <= 0:
+        p.error("--wire-overhead-max must be > 0")
 
     obs_status = 0
     if args.obs_overhead:
         obs_status = check_obs_overhead(args.obs_overhead,
                                         args.obs_overhead_max)
+    if args.wire_overhead:
+        obs_status = max(obs_status,
+                         check_wire_overhead(args.wire_overhead,
+                                             args.wire_overhead_max))
+    if args.obs_overhead or args.wire_overhead:
         if not (args.bench_binary or args.current):
             return obs_status
         print()

@@ -20,7 +20,8 @@ targets=(thread_pool_test task_graph_test block_pool_test ghost_test
          checkpoint_corruption_test fault_test
          tune_probe_test tune_cache_test reblocking_test
          topo_codec_test local_topology_test
-         trace_test msg_trace_test expose_test span_conservation_test)
+         trace_test msg_trace_test expose_test span_conservation_test
+         wire_transport_test)
 cmake --build "$build_dir" -j --target "${targets[@]}"
 
 # The fault suite rides along: recovery rebuilds solver state wholesale,
@@ -34,6 +35,10 @@ cmake --build "$build_dir" -j --target "${targets[@]}"
 # obs suite covers the tracer's per-thread shards filled from pool workers,
 # the metrics server's serving thread racing registry mutation, and the
 # span conservation matrix, which runs causal message tracing under the
-# threaded task graph — the cross-rank tracing hot path.
+# threaded task graph — the cross-rank tracing hot path. The wire suite
+# runs the threaded steppers over real socket/shm transports (including
+# the fork-based SPMD cases, which fork while only the main thread is
+# live) — the shm ring's acquire/release pairing is exactly the kind of
+# ordering bug only TSan sees.
 ctest --test-dir "$build_dir" --output-on-failure \
-  -R 'ThreadPool|TaskGraph|BlockPool|BlockStorePool|Ghost|ParallelSolver|AmrSolver|Subcycling|Determinism|SubstrateDeterminism|CheckpointCorruption|FaultPlan|FaultyWire|Recovery|Tune|ReBlocking|TopoCodec|TopoDelta|LocalTopology|Tracer|ChromeTraceJson|PhaseScope|MsgTrace|SpanContext|MsgPhase|PrometheusText|DumpMetrics|MetricsServer|SpanConservation'
+  -R 'ThreadPool|TaskGraph|BlockPool|BlockStorePool|Ghost|ParallelSolver|AmrSolver|Subcycling|Determinism|SubstrateDeterminism|CheckpointCorruption|FaultPlan|FaultyWire|Recovery|Tune|ReBlocking|TopoCodec|TopoDelta|LocalTopology|Tracer|ChromeTraceJson|PhaseScope|MsgTrace|SpanContext|MsgPhase|PrometheusText|DumpMetrics|MetricsServer|SpanConservation|Wire'
